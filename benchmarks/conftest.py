@@ -1,0 +1,43 @@
+"""Shared fixtures for the pytest-benchmark targets.
+
+Each benchmark file regenerates one table or figure of the paper at a
+reduced, CI-friendly scale (the ``*-small`` datasets).  The full-scale
+numbers recorded in ``EXPERIMENTS.md`` come from
+``python -m repro.bench.run_all``; these targets exist so that
+``pytest benchmarks/ --benchmark-only`` exercises exactly the same code
+paths quickly and catches performance regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import load_dataset
+from repro.core.spade import Spade
+from repro.peeling.semantics import dw_semantics, fraudar_semantics
+
+
+@pytest.fixture(scope="session")
+def grab_small():
+    """The small Grab-like dataset (with injected fraud)."""
+    return load_dataset("grab1-small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def amazon_small():
+    """The small Amazon-style dataset."""
+    return load_dataset("amazon-small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def grab_small_graph_dw(grab_small):
+    """The weighted initial graph of the small Grab dataset under DW."""
+    return grab_small.initial_graph(dw_semantics())
+
+
+def fresh_engine(dataset, semantics=None, **kwargs) -> Spade:
+    """Build a fresh Spade engine loaded with the dataset's initial graph."""
+    semantics = semantics or dw_semantics()
+    spade = Spade(semantics, **kwargs)
+    spade.load_graph(dataset.initial_graph(semantics))
+    return spade

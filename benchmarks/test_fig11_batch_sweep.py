@@ -1,0 +1,39 @@
+"""Figure 11 benchmark: elapsed time / latency across the batch-size sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_engine
+from repro.peeling.semantics import dw_semantics
+from repro.streaming.policies import BatchPolicy, PerEdgePolicy
+from repro.streaming.replay import replay_stream
+
+
+@pytest.mark.parametrize("batch_size", [1, 10, 100, 400])
+def test_batch_sweep_replay(benchmark, grab_small, batch_size):
+    """Replay a fixed stream slice under each swept batch size."""
+    stream = grab_small.increments[:400]
+    policy_cls = (lambda: PerEdgePolicy()) if batch_size == 1 else (lambda: BatchPolicy(batch_size))
+
+    def run():
+        spade = fresh_engine(grab_small, dw_semantics())
+        return replay_stream(spade, stream, policy_cls(), fraud_communities=grab_small.fraud_community_map())
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.metrics.edges == len(stream)
+
+
+def test_fig11_shape_latency_grows_with_batch_size(grab_small):
+    """The figure's two trends: E falls and L rises as batches grow."""
+    stream = grab_small.increments[:600]
+    truth = grab_small.fraud_community_map()
+
+    def run(policy):
+        spade = fresh_engine(grab_small, dw_semantics())
+        return replay_stream(spade, stream, policy, fraud_communities=truth).metrics
+
+    small_batch = run(BatchPolicy(10))
+    large_batch = run(BatchPolicy(300))
+    assert large_batch.mean_latency > small_batch.mean_latency
+    assert large_batch.mean_elapsed_per_edge < small_batch.mean_elapsed_per_edge * 1.5

@@ -1,0 +1,19 @@
+"""Figure 9(b) benchmark: degree-distribution computation on the Grab graph."""
+
+from __future__ import annotations
+
+from repro.graph.stats import compute_stats, degree_distribution
+
+
+def test_degree_distribution_benchmark(benchmark, grab_small_graph_dw):
+    """Time the degree histogram used for Figure 9(b)."""
+    distribution = benchmark(lambda: degree_distribution(grab_small_graph_dw))
+    assert sum(distribution.frequencies) == grab_small_graph_dw.num_vertices()
+    # Heavy-tailed, like the paper's Grab graph.
+    assert distribution.power_law_exponent() < -0.5
+
+
+def test_graph_stats_benchmark(benchmark, grab_small_graph_dw):
+    """Time the Table 3 statistics computation on the materialised graph."""
+    stats = benchmark(lambda: compute_stats(grab_small_graph_dw))
+    assert stats.max_degree > stats.avg_degree

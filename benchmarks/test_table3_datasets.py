@@ -1,0 +1,28 @@
+"""Table 3 benchmark: dataset generation and statistics."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table3
+from repro.bench.harness import ExperimentConfig
+from repro.peeling.semantics import dw_semantics
+from repro.workloads.datasets import generate_dataset
+
+
+def test_table3_rows_benchmark(benchmark):
+    """Time the Table 3 statistics computation on the small datasets."""
+    config = ExperimentConfig.quick_config(datasets=["grab1-small", "amazon-small", "wiki-vote-small"])
+    result = benchmark.pedantic(table3.run, args=(config,), rounds=1, iterations=1)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["|E|"] > 0
+        assert row["avg. degree"] > 0
+
+
+def test_dataset_generation_benchmark(benchmark):
+    """Time generating the small Grab dataset from scratch (no memoisation)."""
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset("grab2-small", seed=1), rounds=1, iterations=1
+    )
+    stats = dataset.stats_row(dw_semantics())
+    assert stats["|V|"] >= 2000
+    assert stats["increments"] == len(dataset.increments)

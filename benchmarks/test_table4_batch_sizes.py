@@ -1,0 +1,41 @@
+"""Table 4 benchmark: per-edge maintenance cost as the batch size grows."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_engine
+from repro.core.batch import insert_batch
+from repro.peeling.semantics import dw_semantics
+
+
+@pytest.mark.parametrize("batch_size", [1, 10, 100, 500])
+def test_batch_insertion_cost(benchmark, grab_small, batch_size):
+    """Insert the same 500 increments in batches of the given size."""
+    increments = [
+        (e.src, e.dst, e.weight) for e in list(grab_small.increments)[:500]
+    ]
+
+    def run():
+        spade = fresh_engine(grab_small, dw_semantics())
+        for start in range(0, len(increments), batch_size):
+            insert_batch(spade.state, increments[start : start + batch_size])
+        return spade
+
+    spade = benchmark.pedantic(run, rounds=1, iterations=1)
+    spade.state.check_consistency()
+    assert spade.graph.num_edges() > 0
+
+
+def test_batching_amortises_work(grab_small):
+    """Larger batches touch a smaller total affected area (Example 4.2)."""
+    increments = [(e.src, e.dst, e.weight) for e in list(grab_small.increments)[:400]]
+
+    def total_affected(batch_size):
+        spade = fresh_engine(grab_small, dw_semantics())
+        area = 0
+        for start in range(0, len(increments), batch_size):
+            area += insert_batch(spade.state, increments[start : start + batch_size]).affected_area
+        return area
+
+    assert total_affected(200) < total_affected(1)

@@ -1,0 +1,91 @@
+"""Plugging custom fraud semantics into Spade (the Listing 2 workflow).
+
+Run with::
+
+    python examples/custom_semantics.py
+
+The paper's headline programmability claim is that a developer writes only
+the two suspiciousness functions (``vsusp`` and ``esusp``) and Spade turns
+the resulting peeling algorithm into an incremental one automatically.  This
+example implements a "promo-abuse" semantics: transactions paid with a
+promotion code are more suspicious, and accounts created recently carry a
+prior.  It then compares what the built-in DG / DW / FD semantics and the
+custom one detect on the same data.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Spade, dg_semantics, dw_semantics, fraudar_semantics
+from repro.peeling.semantics import custom_semantics
+
+# Accounts created in the last few days (side information a real system
+# would pull from its user database).
+RECENTLY_CREATED = {"mule-1", "mule-2", "mule-3", "mule-4"}
+
+# Transactions: (customer, merchant, amount).  Promo-funded transactions are
+# recorded separately by pair (a real system would carry this as metadata).
+TRANSACTIONS = [
+    ("alice", "grocer", 20.0),
+    ("bob", "grocer", 15.0),
+    ("alice", "cinema", 12.0),
+    ("carol", "cinema", 9.0),
+    ("dave", "grocer", 22.0),
+    # The promo-abuse ring: new accounts, small promo-funded orders, all at
+    # the same two merchants.
+    ("mule-1", "kickback-shop", 5.0),
+    ("mule-2", "kickback-shop", 5.0),
+    ("mule-3", "kickback-shop", 5.0),
+    ("mule-4", "kickback-shop", 5.0),
+    ("mule-1", "kickback-cafe", 5.0),
+    ("mule-2", "kickback-cafe", 5.0),
+    ("mule-3", "kickback-cafe", 5.0),
+    ("mule-4", "kickback-cafe", 5.0),
+]
+
+# Pairs known to have used a promotion code.
+PROMO_FUNDED_MERCHANTS = {"kickback-shop", "kickback-cafe"}
+
+
+def promo_abuse_semantics():
+    """Suspiciousness tuned for promotion abuse."""
+
+    def vsusp(vertex, _graph):
+        # New accounts are suspicious before they transact at all.
+        return 1.5 if vertex in RECENTLY_CREATED else 0.0
+
+    def esusp(_src, dst, raw_amount, graph):
+        promo_funded = dst in PROMO_FUNDED_MERCHANTS
+        base = 2.5 if promo_funded else 0.2
+        # Like Fraudar, discount edges into very popular merchants.
+        degree = graph.degree(dst) if graph.has_vertex(dst) else 0
+        return base + raw_amount / (10.0 * math.log(degree + 5.0))
+
+    return custom_semantics("PromoAbuse", vertex_susp=vsusp, edge_susp=esusp, recompute_on_insert=True)
+
+
+def detect_with(semantics):
+    spade = Spade(semantics)
+    spade.load_edges(TRANSACTIONS)
+    community = spade.detect()
+    return spade, sorted(community.vertices), community.density
+
+
+def main() -> None:
+    print(f"{'semantics':<12} {'density':>8}  community")
+    print("-" * 70)
+    for semantics in (dg_semantics(), dw_semantics(), fraudar_semantics(), promo_abuse_semantics()):
+        _spade, community, density = detect_with(semantics)
+        print(f"{semantics.name:<12} {density:8.3f}  {community}")
+
+    # The custom semantics keeps working incrementally, like any built-in:
+    spade, _, _ = detect_with(promo_abuse_semantics())
+    community = spade.insert_edge("mule-5", "kickback-shop", 5.0)
+    print("\nafter one more promo-funded order from a brand-new account:")
+    print("  community:", sorted(community.vertices))
+    assert "mule-5" in community.vertices or "kickback-shop" in community.vertices
+
+
+if __name__ == "__main__":
+    main()

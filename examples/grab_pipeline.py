@@ -1,0 +1,80 @@
+"""The full Grab-style pipeline: logs → graph → detection → moderation.
+
+Run with::
+
+    python examples/grab_pipeline.py
+
+This example reproduces Figure 1 of the paper end to end and contrasts the
+two detectors: the pre-Spade *periodic static* detector (re-peels the whole
+graph every period) and the *real-time Spade* detector (incremental
+maintenance per transaction).  Both feed the same moderator, which bans the
+members of detected communities and blocks their subsequent transactions;
+the report shows how much more fraud the real-time detector prevents.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import render_table
+from repro.peeling.semantics import dw_semantics
+from repro.pipeline import FraudDetectionPipeline, TransactionLog
+from repro.workloads.grab import GrabConfig, generate_grab_dataset
+
+
+def build_logs():
+    """Generate a workload and split it into historical / live logs."""
+    config = GrabConfig(
+        name="pipeline-example",
+        num_customers=1200,
+        num_merchants=150,
+        num_edges=5000,
+        fraud_instances_per_pattern=1,
+        seed=11,
+    )
+    dataset = generate_grab_dataset(config)
+    historical = TransactionLog.from_stream(
+        # Historical transactions get synthetic timestamps before the stream.
+        type(dataset.increments)(
+            [e.shifted(0.0) for e in dataset.increments[:0]]
+        ),
+    )
+    # Build the historical log directly from the initial edges.
+    from repro.pipeline.transaction_log import TransactionRecord
+
+    records = [
+        TransactionRecord(f"hist-{i}", src, dst, amount, float(i) * 1e-3)
+        for i, (src, dst, amount) in enumerate(dataset.initial_edges)
+    ]
+    historical = TransactionLog(records)
+    live = TransactionLog.from_stream(dataset.increments, id_prefix="live")
+    return dataset, historical, live
+
+
+def main() -> None:
+    dataset, historical, live = build_logs()
+    fraud_total = sum(1 for e in dataset.increments if e.is_fraud)
+    print(
+        f"historical log: {len(historical)} transactions; "
+        f"live log: {len(live)} transactions ({fraud_total} labelled fraudulent)\n"
+    )
+
+    rows = []
+    for detector, kwargs in (
+        ("periodic", {"static_period": 30.0}),
+        ("spade", {}),
+        ("spade", {"edge_grouping": True}),
+    ):
+        pipeline = FraudDetectionPipeline(dw_semantics(), detector=detector, **kwargs)
+        pipeline.initialise(historical)
+        report = pipeline.run(live)
+        rows.append(report.as_row())
+
+    print(render_table(rows, title="Figure 1 pipeline: periodic static vs real-time Spade"))
+    print(
+        "\nThe real-time detectors ban the fraud ring while its burst is still in"
+        "\nprogress, so the moderator blocks most of the remaining fictitious"
+        "\ntransactions; the periodic detector only reacts at the next full pass."
+    )
+
+
+if __name__ == "__main__":
+    main()

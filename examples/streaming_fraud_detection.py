@@ -1,0 +1,79 @@
+"""Streaming fraud detection on a Grab-like workload with injected fraud.
+
+Run with::
+
+    python examples/streaming_fraud_detection.py
+
+The example generates a synthetic transaction stream containing the three
+fraud patterns of the paper's case studies, then replays it under three
+processing policies — per-edge incremental maintenance, 500-edge batches and
+edge grouping — and reports, for each policy, the per-edge compute cost, the
+response latency of fraudulent activity and the prevention ratio (which
+fraction of each fraud ring's transactions arrived after the ring was
+detected and could therefore be blocked).
+"""
+
+from __future__ import annotations
+
+from repro import Spade, fraudar_semantics
+from repro.streaming import BatchPolicy, EdgeGroupingPolicy, PerEdgePolicy, replay_stream
+from repro.workloads.grab import GrabConfig, generate_grab_dataset
+
+
+def main() -> None:
+    # A small but realistic workload: heavy-tailed customer/merchant
+    # popularity, one instance of each fraud pattern in the increment stream.
+    config = GrabConfig(
+        name="streaming-example",
+        num_customers=1500,
+        num_merchants=200,
+        num_edges=6000,
+        fraud_instances_per_pattern=1,
+        seed=42,
+    )
+    dataset = generate_grab_dataset(config)
+    truth = dataset.fraud_community_map()
+    print(
+        f"dataset: {len(dataset.initial_edges)} historical transactions, "
+        f"{len(dataset.increments)} streamed transactions, "
+        f"{len(dataset.fraud_communities)} injected fraud rings\n"
+    )
+
+    policies = [
+        PerEdgePolicy(label="IncFD (per edge)"),
+        BatchPolicy(500, label="IncFD-500 (batches)"),
+        EdgeGroupingPolicy(label="IncFDG (edge grouping)"),
+    ]
+
+    print(f"{'policy':<24} {'E (us/edge)':>12} {'mean latency':>13} {'prevention':>11} {'flushes':>8}")
+    print("-" * 75)
+    for policy in policies:
+        semantics = fraudar_semantics()
+        spade = Spade(semantics)
+        spade.load_graph(dataset.initial_graph(semantics))
+        report = replay_stream(
+            spade,
+            dataset.increments,
+            policy,
+            fraud_communities=truth,
+            ban_detected=True,
+        )
+        metrics = report.metrics
+        print(
+            f"{policy.name:<24} {metrics.mean_elapsed_per_edge * 1e6:12.1f} "
+            f"{metrics.mean_latency:12.3f}s {metrics.prevention_ratio:10.1%} {metrics.flushes:8d}"
+        )
+        for label in sorted(report.detection_times):
+            delay = report.detection_times[label] - next(
+                c.start_time for c in dataset.fraud_communities if c.label == label
+            )
+            print(f"    detected {label:<16} {delay:8.2f}s after the burst started")
+    print(
+        "\nEdge grouping responds to urgent edges immediately, so fraud rings are"
+        "\ncaught early in their burst; large fixed batches trade that latency for"
+        "\nper-edge throughput, exactly the trade-off of Figure 9(a) in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments where the isolated
+PEP 517 build path cannot download its build requirements.
+"""
+
+from setuptools import setup
+
+setup()

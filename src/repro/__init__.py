@@ -1,0 +1,74 @@
+"""repro — reproduction of Spade, a real-time fraud detection framework.
+
+Spade (Jiang et al., VLDB) incrementally maintains the result of greedy
+*peeling* algorithms (DG, DW, Fraudar and user-defined variants) on evolving
+transaction graphs, so that dense fraudulent communities can be re-identified
+within microseconds of each edge insertion instead of re-running the static
+algorithm from scratch.
+
+The package is organised as follows:
+
+``repro.graph``
+    Dynamic weighted directed graph and graph-update (delta) types.
+``repro.peeling``
+    Static peeling algorithms (Algorithm 1 of the paper) together with the
+    DG / DW / FD density semantics and an exact max-flow reference solver.
+``repro.core``
+    The Spade framework itself: the public :class:`~repro.core.Spade` API,
+    incremental single-edge reordering, batch reordering, edge grouping,
+    edge deletion, dense-subgraph enumeration and time-window maintenance.
+``repro.streaming``
+    Timestamped update streams, the simulated clock, batching policies and
+    the latency / prevention-ratio metrics of Section 4.3.
+``repro.workloads``
+    Synthetic dataset generators standing in for the Grab and public
+    datasets of Table 3, plus fraud-pattern injection for ground truth.
+``repro.pipeline``
+    A faithful simulation of Grab's fraud detection pipeline (Figure 1).
+``repro.analysis``
+    Effectiveness analysis: degree distributions, community precision and
+    recall, case-study timelines and fraud-instance enumeration.
+``repro.bench``
+    The experiment harness that regenerates every table and figure of the
+    paper's evaluation section.
+
+Quickstart::
+
+    from repro import Spade, fraudar_semantics
+    from repro.workloads import generate_dataset
+
+    dataset = generate_dataset("grab1-small", seed=7)
+    semantics = fraudar_semantics()
+    spade = Spade(semantics)
+    spade.load_graph(dataset.initial_graph(semantics))
+    community = spade.detect()
+    for edge in dataset.increments:
+        community = spade.insert_edge(edge.src, edge.dst, edge.weight)
+"""
+
+from repro._version import __version__
+from repro.core.spade import Spade
+from repro.graph.graph import DynamicGraph
+from repro.graph.delta import EdgeUpdate, GraphDelta
+from repro.peeling.result import PeelingResult
+from repro.peeling.semantics import (
+    PeelingSemantics,
+    dg_semantics,
+    dw_semantics,
+    fraudar_semantics,
+)
+from repro.peeling.static import peel
+
+__all__ = [
+    "__version__",
+    "Spade",
+    "DynamicGraph",
+    "EdgeUpdate",
+    "GraphDelta",
+    "PeelingResult",
+    "PeelingSemantics",
+    "dg_semantics",
+    "dw_semantics",
+    "fraudar_semantics",
+    "peel",
+]

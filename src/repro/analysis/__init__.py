@@ -1,0 +1,27 @@
+"""Effectiveness analysis: how well the detected communities match reality.
+
+The efficiency side of the evaluation lives in :mod:`repro.streaming` and
+:mod:`repro.bench`; this subpackage covers the effectiveness side:
+
+* :mod:`repro.analysis.communities` — precision / recall / F1 / Jaccard of
+  a detected community against injected ground truth;
+* :mod:`repro.analysis.casestudy` — the Figure 12/13 case-study timelines
+  (real-time Spade vs the periodic static baseline, transactions that could
+  have been prevented);
+* :mod:`repro.analysis.enumeration` — fraud-instance counting per timespan
+  (Figure 15).
+"""
+
+from repro.analysis.communities import CommunityMatch, match_communities, best_match
+from repro.analysis.casestudy import CaseStudyResult, run_case_study
+from repro.analysis.enumeration import EnumerationTimeline, enumerate_over_time
+
+__all__ = [
+    "CommunityMatch",
+    "match_communities",
+    "best_match",
+    "CaseStudyResult",
+    "run_case_study",
+    "EnumerationTimeline",
+    "enumerate_over_time",
+]

@@ -1,0 +1,151 @@
+"""Case studies: real-time Spade vs the periodic static baseline (Fig. 12/13).
+
+Each case study in the paper follows the same script.  A fraud burst starts
+at ``T0``.  The incremental detector (IncDG / IncDW / IncFD) recognises the
+community at ``T1``, essentially as soon as enough of the burst has arrived
+for it to become the densest subgraph.  The static baseline only recognises
+it at ``T2``, the end of the *next* periodic from-scratch run — roughly one
+period later.  Every transaction the community generates inside ``(T1, T2]``
+could have been prevented by the real-time detector but not by the
+baseline; the paper counts 720 / 71 / 1853 such transactions for the three
+patterns.
+
+:func:`run_case_study` reproduces that script on an injected dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.spade import Spade
+from repro.peeling.semantics import PeelingSemantics
+from repro.streaming.policies import PerEdgePolicy, PeriodicStaticPolicy
+from repro.streaming.replay import replay_stream
+from repro.workloads.datasets import Dataset
+
+__all__ = ["CaseStudyResult", "run_case_study"]
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Outcome of one case study (one fraud label under one semantics)."""
+
+    label: str
+    pattern: str
+    semantics: str
+    #: Stream time at which the burst started (``T0``).
+    burst_start: float
+    #: Detection time of the incremental detector (``T1``), None if missed.
+    incremental_detection: Optional[float]
+    #: Detection time of the periodic static baseline (``T2``), None if missed.
+    static_detection: Optional[float]
+    #: Transactions of the community generated in ``(T1, T2]``.
+    preventable_transactions: int
+    #: Total labelled transactions of the community.
+    total_transactions: int
+    #: The static baseline's re-detection period used for the comparison.
+    static_period: float
+
+    @property
+    def incremental_delay(self) -> Optional[float]:
+        """``T1 - T0``: how quickly Spade reacted."""
+        if self.incremental_detection is None:
+            return None
+        return self.incremental_detection - self.burst_start
+
+    @property
+    def static_delay(self) -> Optional[float]:
+        """``T2 - T0``: how quickly the periodic baseline reacted."""
+        if self.static_detection is None:
+            return None
+        return self.static_detection - self.burst_start
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "pattern": self.pattern,
+            "semantics": self.semantics,
+            "T1 - T0 (s)": None if self.incremental_delay is None else round(self.incremental_delay, 2),
+            "T2 - T0 (s)": None if self.static_delay is None else round(self.static_delay, 2),
+            "preventable tx": self.preventable_transactions,
+            "total tx": self.total_transactions,
+        }
+
+
+def run_case_study(
+    dataset: Dataset,
+    label: str,
+    semantics: PeelingSemantics,
+    static_period: float = 60.0,
+    detection_overlap: float = 0.5,
+) -> CaseStudyResult:
+    """Run one Figure 12/13 case study on an injected dataset.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset whose increments contain the labelled fraud burst.
+    label:
+        The fraud community to study.
+    semantics:
+        Which peeling semantics both detectors use (the paper pairs
+        collusion with DG, deal-hunter with DW and click-farming with FD).
+    static_period:
+        The period of the from-scratch baseline, i.e. how often the static
+        algorithm finishes a full pass (≈60 s in the paper's case studies).
+    """
+    community = next(c for c in dataset.fraud_communities if c.label == label)
+    truth = {label: community.members}
+
+    # Each case is studied in isolation, as in the paper: the replayed stream
+    # contains the background traffic plus only the studied burst, so an
+    # earlier (denser) burst of a different pattern cannot mask it.
+    from repro.streaming.stream import UpdateStream
+
+    stream = UpdateStream(
+        [e for e in dataset.increments if e.fraud_label in (None, label)]
+    )
+
+    # Real-time incremental detector: per-edge maintenance.
+    spade_inc = Spade(semantics)
+    spade_inc.load_graph(dataset.initial_graph(semantics))
+    report_inc = replay_stream(
+        spade_inc,
+        stream,
+        PerEdgePolicy(label=f"Inc{semantics.name}"),
+        fraud_communities=truth,
+        detection_overlap=detection_overlap,
+    )
+
+    # Periodic static baseline.
+    spade_static = Spade(semantics)
+    spade_static.load_graph(dataset.initial_graph(semantics))
+    report_static = replay_stream(
+        spade_static,
+        stream,
+        PeriodicStaticPolicy(static_period, label=semantics.name),
+        fraud_communities=truth,
+        detection_overlap=detection_overlap,
+    )
+
+    t1 = report_inc.prevention.detection_time(label)
+    t2 = report_static.prevention.detection_time(label)
+
+    timestamps = [e.timestamp for e in stream if e.fraud_label == label]
+    preventable = 0
+    if t1 is not None:
+        horizon = t2 if t2 is not None else max(timestamps, default=t1)
+        preventable = sum(1 for t in timestamps if t1 < t <= horizon)
+
+    return CaseStudyResult(
+        label=label,
+        pattern=community.pattern,
+        semantics=semantics.name,
+        burst_start=community.start_time,
+        incremental_detection=t1,
+        static_detection=t2,
+        preventable_transactions=preventable,
+        total_transactions=len(timestamps),
+        static_period=static_period,
+    )

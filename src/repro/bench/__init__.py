@@ -1,0 +1,36 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Each module under :mod:`repro.bench.experiments` reproduces one table or
+figure of the evaluation section and can be run directly, e.g.::
+
+    python -m repro.bench.experiments.table4 --quick
+    python -m repro.bench.experiments.fig9a
+
+The shared pieces are:
+
+* :mod:`repro.bench.timing` — wall-clock measurement helpers;
+* :mod:`repro.bench.tables` — plain-text / markdown table rendering;
+* :mod:`repro.bench.harness` — experiment configuration, engine
+  construction and result persistence.
+
+The pytest-benchmark targets under ``benchmarks/`` exercise the same
+experiment code on the ``*-small`` datasets so that
+``pytest benchmarks/ --benchmark-only`` stays fast, while
+``python -m repro.bench.run_all`` produces the full numbers recorded in
+``EXPERIMENTS.md``.
+"""
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, build_engine, save_result
+from repro.bench.tables import render_table, render_markdown
+from repro.bench.timing import Timer, time_call
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_engine",
+    "save_result",
+    "render_table",
+    "render_markdown",
+    "Timer",
+    "time_call",
+]

@@ -1,0 +1,46 @@
+"""One module per table / figure of the paper's evaluation section.
+
+=================  =========================================================
+Module              Reproduces
+=================  =========================================================
+``table3``          Table 3 — dataset statistics
+``table4``          Table 4 — per-edge maintenance time vs batch size
+``table5``          Table 5 — elapsed time and latency incl. edge grouping
+``fig9a``           Figure 9(a) — prevention ratio vs latency
+``fig9b``           Figure 9(b) — degree distribution of the Grab graph
+``fig10``           Figure 10 — static vs incremental, single-edge updates
+``fig11``           Figure 11 — elapsed time / latency vs batch size
+``fig12``           Figures 12/13 — the three fraud-pattern case studies
+``fig15``           Figure 15 — fraud-instance enumeration over time
+=================  =========================================================
+
+Every module exposes ``run(config) -> ExperimentResult`` and can be invoked
+as a script (``python -m repro.bench.experiments.table4 --quick``).
+``python -m repro.bench.run_all`` runs the whole battery.
+"""
+
+from repro.bench.experiments import (  # noqa: F401  (re-exported for discoverability)
+    fig9a,
+    fig9b,
+    fig10,
+    fig11,
+    fig12,
+    fig15,
+    table3,
+    table4,
+    table5,
+)
+
+ALL_EXPERIMENTS = {
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig9a": fig9a,
+    "fig9b": fig9b,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig15": fig15,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

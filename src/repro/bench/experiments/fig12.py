@@ -1,0 +1,90 @@
+"""Figures 12/13 — case studies of the three fraud patterns.
+
+Each case study pairs one injected fraud pattern with the semantics the
+paper uses for it (collusion ↔ DG, deal-hunter ↔ DW, click-farming ↔ FD)
+and compares how quickly the incremental detector and the periodic static
+baseline recognise the community, plus how many of the community's
+transactions fall between the two detection times (the transactions Spade
+could have prevented but the baseline could not).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.casestudy import run_case_study
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    config_from_args,
+    load_dataset,
+    save_result,
+    standard_argument_parser,
+)
+from repro.peeling.semantics import dg_semantics, dw_semantics, fraudar_semantics
+from repro.workloads.fraud import (
+    PATTERN_CLICK_FARMING,
+    PATTERN_COLLUSION,
+    PATTERN_DEAL_HUNTER,
+)
+
+__all__ = ["run"]
+
+#: The paper's pairing of fraud pattern and detection semantics.
+PATTERN_SEMANTICS = {
+    PATTERN_COLLUSION: dg_semantics,
+    PATTERN_DEAL_HUNTER: dw_semantics,
+    PATTERN_CLICK_FARMING: fraudar_semantics,
+}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run the three case studies on the first fraud-labelled Grab dataset."""
+    result = ExperimentResult(
+        experiment="fig12",
+        description="case studies: detection delay and preventable transactions (Fig. 12/13)",
+        columns=[
+            "dataset",
+            "pattern",
+            "semantics",
+            "T1 - T0 (s)",
+            "T2 - T0 (s)",
+            "preventable tx",
+            "total tx",
+        ],
+    )
+    datasets = config.grab_datasets() or list(config.datasets)
+    static_period = 20.0 if config.quick else 60.0
+    for name in datasets[:1]:
+        dataset = load_dataset(name, seed=config.seed)
+        if not dataset.fraud_communities:
+            result.add_note(f"{name}: no injected fraud communities, skipping")
+            continue
+        for community in dataset.fraud_communities:
+            factory = PATTERN_SEMANTICS.get(community.pattern, dw_semantics)
+            study = run_case_study(
+                dataset,
+                community.label,
+                factory(),
+                static_period=static_period,
+            )
+            row = {"dataset": name}
+            row.update(study.as_row())
+            result.rows.append(row)
+    result.add_note(
+        "T1 is the incremental detector's detection delay from the burst start, T2 the "
+        "periodic static baseline's; 'preventable tx' counts the community's transactions "
+        "generated between the two (720 / 71 / 1853 in the paper's three cases)."
+    )
+    return result
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = standard_argument_parser("Reproduce Figures 12/13 (case studies)")
+    config = config_from_args(parser.parse_args())
+    result = run(config)
+    print(result.to_text())
+    save_result(result, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Figure 15 — fraud-instance enumeration over consecutive timespans.
+
+The figure shows, per timespan across a week, how many fraud instances
+Spade newly identified and which pattern each belonged to.  The
+reproduction replays the increment stream in ``num_spans`` slices,
+enumerates dense communities after each slice (Appendix C.2) and attributes
+instances to the injected patterns.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.enumeration import enumerate_over_time
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    config_from_args,
+    load_dataset,
+    save_result,
+    standard_argument_parser,
+)
+from repro.peeling.semantics import dw_semantics
+
+__all__ = ["run"]
+
+FULL_SPANS = 28
+QUICK_SPANS = 10
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Enumerate fraud instances per timespan on a fraud-labelled Grab dataset."""
+    result = ExperimentResult(
+        experiment="fig15",
+        description="newly identified fraud instances per timespan (Figure 15)",
+    )
+    datasets = config.grab_datasets() or list(config.datasets)
+    num_spans = QUICK_SPANS if config.quick else FULL_SPANS
+    for name in datasets[:1]:
+        dataset = load_dataset(name, seed=config.seed)
+        if not dataset.fraud_communities:
+            result.add_note(f"{name}: no injected fraud communities, skipping")
+            continue
+        timeline = enumerate_over_time(dataset, dw_semantics(), num_spans=num_spans)
+        for row in timeline.as_rows():
+            row["dataset"] = name
+            result.rows.append(row)
+        detected = sum(span.total_labelled() for span in timeline.spans)
+        result.add_note(
+            f"{name}: {detected} of {len(dataset.fraud_communities)} injected instances "
+            f"identified across {num_spans} timespans"
+        )
+    result.add_note(
+        "each instance is counted in the first timespan it is enumerated, matching the "
+        "'newly identified fraudsters' semantics of Figure 15."
+    )
+    return result
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = standard_argument_parser("Reproduce Figure 15 (instance enumeration)")
+    config = config_from_args(parser.parse_args())
+    result = run(config)
+    print(result.to_text())
+    save_result(result, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,219 @@
+"""Shared experiment configuration and helpers.
+
+Every experiment module consumes an :class:`ExperimentConfig` (which
+datasets, which semantics, how many increments, quick vs full scale) and
+produces an :class:`ExperimentResult` (rows + free-form notes) that can be
+rendered with :mod:`repro.bench.tables` and persisted next to the generated
+data with :func:`save_result`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.spade import Spade
+from repro.peeling.semantics import (
+    PeelingSemantics,
+    dg_semantics,
+    dw_semantics,
+    fraudar_semantics,
+)
+from repro.workloads.datasets import Dataset, generate_dataset
+
+__all__ = [
+    "SEMANTICS_FACTORIES",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_engine",
+    "load_dataset",
+    "save_result",
+    "standard_argument_parser",
+    "config_from_args",
+]
+
+#: The three peeling algorithms of the paper, by display name.
+SEMANTICS_FACTORIES: Dict[str, Callable[[], PeelingSemantics]] = {
+    "DG": dg_semantics,
+    "DW": dw_semantics,
+    "FD": fraudar_semantics,
+}
+
+#: Benchmark-scale and test-scale dataset groups.
+FULL_DATASETS = ["grab1", "grab2", "grab3", "grab4", "amazon", "wiki-vote", "epinion"]
+QUICK_DATASETS = ["grab1-small", "grab2-small", "amazon-small", "wiki-vote-small"]
+FULL_GRAB = ["grab1", "grab2", "grab3", "grab4"]
+QUICK_GRAB = ["grab1-small", "grab2-small"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration shared by every experiment runner."""
+
+    #: Datasets to run on (names from the registry).
+    datasets: Sequence[str] = field(default_factory=lambda: list(FULL_DATASETS))
+    #: Peeling algorithms to compare.
+    semantics: Sequence[str] = field(default_factory=lambda: ["DG", "DW", "FD"])
+    #: Cap on the number of replayed increments per configuration
+    #: (None = replay everything the dataset provides).
+    max_increments: Optional[int] = None
+    #: Batch sizes for the batching experiments.
+    batch_sizes: Sequence[int] = field(default_factory=lambda: [1, 10, 100, 1000, 10000])
+    #: RNG seed forwarded to the dataset generators.
+    seed: int = 0
+    #: Where results are written (tables + JSON); None disables persistence.
+    output_dir: Optional[Path] = None
+    #: Quick mode: small datasets, few increments — used by pytest targets.
+    quick: bool = False
+
+    @classmethod
+    def quick_config(cls, **overrides) -> "ExperimentConfig":
+        """A configuration sized for CI and pytest-benchmark runs."""
+        config = cls(
+            datasets=list(QUICK_DATASETS),
+            max_increments=300,
+            batch_sizes=[1, 10, 100],
+            quick=True,
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+    def grab_datasets(self) -> List[str]:
+        """Return only the Grab-family datasets of this configuration."""
+        return [name for name in self.datasets if name.startswith("grab")]
+
+    def semantics_instances(self) -> List[Tuple[str, PeelingSemantics]]:
+        """Instantiate the configured semantics."""
+        return [(name, SEMANTICS_FACTORIES[name]()) for name in self.semantics]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus notes produced by one experiment runner."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    columns: Optional[Sequence[str]] = None
+
+    def add_row(self, **values: object) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Render the result as plain text (table + notes)."""
+        from repro.bench.tables import render_table
+
+        parts = [render_table(self.rows, columns=self.columns, title=f"{self.experiment}: {self.description}")]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Render the result as markdown."""
+        from repro.bench.tables import render_markdown
+
+        parts = [render_markdown(self.rows, columns=self.columns, title=f"{self.experiment}: {self.description}")]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"*{note}*" for note in self.notes)
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# Engine / dataset construction
+# ---------------------------------------------------------------------- #
+_DATASET_CACHE: Dict[Tuple[str, int], Dataset] = {}
+
+
+def load_dataset(name: str, seed: int = 0, cache: bool = True) -> Dataset:
+    """Generate (and memoise) a named dataset.
+
+    Experiments frequently need the same dataset under several semantics
+    and policies; memoising the generation keeps the harness runtime
+    dominated by the algorithms being measured rather than by workload
+    synthesis.
+    """
+    key = (name, seed)
+    if cache and key in _DATASET_CACHE:
+        return _DATASET_CACHE[key]
+    dataset = generate_dataset(name, seed=seed)
+    if cache:
+        _DATASET_CACHE[key] = dataset
+    return dataset
+
+
+def build_engine(
+    dataset: Dataset,
+    semantics: PeelingSemantics,
+    edge_grouping: bool = False,
+) -> Spade:
+    """Build a Spade engine loaded with the dataset's initial graph."""
+    spade = Spade(semantics, edge_grouping=edge_grouping)
+    spade.load_graph(dataset.initial_graph(semantics))
+    return spade
+
+
+def save_result(result: ExperimentResult, config: ExperimentConfig) -> Optional[Path]:
+    """Persist a result under ``config.output_dir`` (tables + JSON)."""
+    if config.output_dir is None:
+        return None
+    out = Path(config.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    text_path = out / f"{result.experiment}.txt"
+    text_path.write_text(result.to_text() + "\n", encoding="utf-8")
+    json_path = out / f"{result.experiment}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "experiment": result.experiment,
+                "description": result.description,
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+            indent=2,
+            default=str,
+        ),
+        encoding="utf-8",
+    )
+    return text_path
+
+
+def standard_argument_parser(description: str) -> argparse.ArgumentParser:
+    """Build the CLI parser shared by ``python -m repro.bench.experiments.*``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--quick", action="store_true", help="run on the small datasets")
+    parser.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    parser.add_argument(
+        "--max-increments", type=int, default=None, help="cap on replayed increments"
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=None, help="directory for result tables"
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=None, help="override the dataset list"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Convert parsed CLI arguments into an :class:`ExperimentConfig`."""
+    if args.quick:
+        config = ExperimentConfig.quick_config(seed=args.seed, output_dir=args.output_dir)
+    else:
+        config = ExperimentConfig(seed=args.seed, output_dir=args.output_dir)
+    if args.max_increments is not None:
+        config.max_increments = args.max_increments
+    if args.datasets:
+        config.datasets = list(args.datasets)
+    return config

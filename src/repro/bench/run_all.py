@@ -1,0 +1,55 @@
+"""Run every experiment and write the tables used by EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.bench.run_all --output-dir results/ [--quick]
+    python -m repro.bench.run_all --only table4 fig10
+
+``--quick`` uses the ``*-small`` datasets and capped increment counts; the
+full run uses the benchmark-scale datasets and takes considerably longer.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import config_from_args, save_result, standard_argument_parser
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = standard_argument_parser("Run all Spade reproduction experiments")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments to run (names like table4, fig10)",
+    )
+    args = parser.parse_args(argv)
+    config = config_from_args(args)
+
+    selected = args.only or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in selected:
+        module = ALL_EXPERIMENTS[name]
+        print(f"\n=== {name} ===", flush=True)
+        began = time.perf_counter()
+        result = module.run(config)
+        elapsed = time.perf_counter() - began
+        print(result.to_text())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        save_result(result, config)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

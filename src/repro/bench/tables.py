@@ -1,0 +1,73 @@
+"""Plain-text and markdown rendering of experiment result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_markdown"]
+
+
+def _columns(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]]) -> List[str]:
+    """Determine the column order (explicit, else first-seen order)."""
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def _cell(value: object) -> str:
+    """Format one cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = _columns(rows, columns)
+    cells = [[_cell(row.get(col)) for col in cols] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(cols)]
+
+    def fmt(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(cols))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(line) for line in cells)
+    return "\n".join(lines)
+
+
+def render_markdown(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return (f"### {title}\n\n" if title else "") + "_no rows_"
+    cols = _columns(rows, columns)
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(col)) for col in cols) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Wall-clock measurement helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["time_call", "Timer", "DurationStats", "summarize"]
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    began = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - began
+
+
+class Timer:
+    """Context manager measuring a block's wall-clock time.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._began = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._began = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._began
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    """Summary statistics of a collection of durations (seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def as_row(self) -> dict:
+        """Flatten for table rendering (microseconds for the small values)."""
+        return {
+            "count": self.count,
+            "total (s)": round(self.total, 4),
+            "mean (us)": round(self.mean * 1e6, 2),
+            "median (us)": round(self.median * 1e6, 2),
+            "p95 (us)": round(self.p95 * 1e6, 2),
+            "max (us)": round(self.maximum * 1e6, 2),
+        }
+
+
+def summarize(durations: List[float]) -> DurationStats:
+    """Summarise a list of durations into :class:`DurationStats`."""
+    if not durations:
+        return DurationStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(durations, dtype=np.float64)
+    return DurationStats(
+        count=len(durations),
+        total=float(arr.sum()),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,48 @@
+"""The Spade framework: incremental peeling on evolving graphs.
+
+Modules
+-------
+``spade``
+    The public :class:`~repro.core.spade.Spade` API mirroring Listing 1 of
+    the paper (``VSusp`` / ``ESusp`` / ``Detect`` / ``InsertEdge`` /
+    ``InsertBatchEdges`` plus the built-in ``IsBenign`` / ``ReorderSeq``).
+``state``
+    The maintained peeling-sequence state ``(O, Δ, f(V))``.
+``reorder``
+    The shared peeling-sequence reordering engine used by both single-edge
+    insertion (Section 4.1) and batch insertion (Algorithm 2).
+``insertion`` / ``batch``
+    Thin, documented entry points for the two insertion granularities.
+``grouping``
+    Edge grouping: benign vs urgent edges and the deferred-batch paradigm
+    of Algorithm 3 (Section 4.3).
+``deletion``
+    Edge deletion maintenance (Appendix C.1).
+``enumeration``
+    Dense-subgraph enumeration (Appendix C.2).
+``windows``
+    Fraud detection during a time period (Appendix C.3).
+"""
+
+from repro.core.spade import Spade
+from repro.core.state import PeelingState
+from repro.core.reorder import ReorderStats
+from repro.core.insertion import insert_edge
+from repro.core.batch import insert_batch
+from repro.core.grouping import EdgeGrouper, is_benign
+from repro.core.deletion import delete_edges
+from repro.core.enumeration import enumerate_communities
+from repro.core.windows import TimeWindowDetector
+
+__all__ = [
+    "Spade",
+    "PeelingState",
+    "ReorderStats",
+    "insert_edge",
+    "insert_batch",
+    "EdgeGrouper",
+    "is_benign",
+    "delete_edges",
+    "enumerate_communities",
+    "TimeWindowDetector",
+]

@@ -1,0 +1,119 @@
+"""Edge deletion maintenance (Appendix C.1 of the paper).
+
+Companies periodically drop outdated transactions.  Deleting an edge
+``(u_i, u_j)`` can only make its endpoints *lighter*, so — unlike
+insertion — the affected region can extend **backwards**: a now-lighter
+endpoint may deserve to be peeled earlier than before.
+
+The reproduction uses a conservative but exactly correct variant of the
+appendix sketch:
+
+1. Compute a *safe prefix* bound.  By Lemma A.1 (monotonicity of peeling
+   weights) the new weight of ``u_i`` with respect to any earlier suffix is
+   at least ``Δ_i - c`` (its old weight at its own position minus the
+   deleted weight), and likewise for ``u_j``.  Every prefix position whose
+   recorded weight stays strictly below that bound is therefore still a
+   valid greedy choice and is kept untouched.
+2. Re-peel the remaining suffix of the sequence on the updated graph
+   (a restricted run of Algorithm 1) and splice it back.
+
+This preserves the incremental flavour — the untouched prefix is usually
+the bulk of the sequence — while avoiding the subtle bookkeeping of a
+bidirectional pending queue.  The same routine also powers mixed
+insert/delete maintenance for the time-window detector (Appendix C.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import PeelingState
+from repro.graph.graph import Vertex
+from repro.peeling.static import peel_subset
+
+__all__ = ["delete_edges", "safe_prefix_bound", "repeel_suffix"]
+
+
+def safe_prefix_bound(state: PeelingState, lightened: Sequence[Tuple[Vertex, float]]) -> int:
+    """Return the first sequence position that may be affected by deletions.
+
+    ``lightened`` lists ``(vertex, removed_weight)`` pairs for every vertex
+    that lost incident weight.  Positions ``[0, bound)`` are guaranteed to
+    be unaffected; the suffix from ``bound`` must be re-peeled.
+    """
+    if not lightened:
+        return len(state.order)
+    removed_per_vertex: dict = {}
+    for vertex, removed in lightened:
+        removed_per_vertex[vertex] = removed_per_vertex.get(vertex, 0.0) + removed
+    floor = float("inf")
+    for vertex, removed in removed_per_vertex.items():
+        if vertex not in state:
+            continue
+        position = state.position(vertex)
+        floor = min(floor, float(state.weights[position]) - removed)
+    if floor == float("inf"):
+        return len(state.order)
+    weights = state.weights
+    # First position whose recorded weight reaches the floor (conservative:
+    # ties count as affected).
+    above = np.nonzero(weights >= floor - 1e-12)[0]
+    return int(above[0]) if len(above) else len(state.order)
+
+
+def repeel_suffix(state: PeelingState, start: int) -> int:
+    """Re-run the static peel on ``order[start:]`` and splice it back.
+
+    Returns the number of re-peeled vertices (the affected area).
+    """
+    suffix = state.order[start:]
+    if not suffix:
+        state.invalidate()
+        return 0
+    result = peel_subset(state.graph, set(suffix), semantics_name=state.semantics.name)
+    state.write_segment(start, list(result.order), list(result.weights))
+    return len(suffix)
+
+
+def delete_edges(
+    state: PeelingState,
+    edges: Iterable[Tuple[Vertex, Vertex]],
+    prune_isolated: bool = False,
+) -> int:
+    """Delete edges from the graph and restore a valid peeling sequence.
+
+    Parameters
+    ----------
+    state:
+        The maintained peeling state.
+    edges:
+        Iterable of ``(src, dst)`` pairs to remove.  Unknown edges are
+        ignored (deletions race benignly with upstream retention jobs).
+    prune_isolated:
+        Kept for API symmetry; vertices are never removed because the
+        paper's model keeps the vertex set fixed.
+
+    Returns
+    -------
+    int
+        The number of re-peeled sequence positions (0 when nothing known
+        was deleted).
+    """
+    del prune_isolated  # vertices always stay, matching the paper's model
+    graph = state.graph
+    lightened: List[Tuple[Vertex, float]] = []
+    removed_total = 0.0
+    for src, dst in edges:
+        if not graph.has_edge(src, dst):
+            continue
+        weight = graph.remove_edge(src, dst)
+        removed_total += weight
+        lightened.append((src, weight))
+        lightened.append((dst, weight))
+    if not lightened:
+        return 0
+    state.add_total(-removed_total)
+    bound = safe_prefix_bound(state, lightened)
+    return repeel_suffix(state, bound)

@@ -1,0 +1,80 @@
+"""Single-edge insertion maintenance (Section 4.1 of the paper).
+
+Given the peeling state for ``G`` and one new edge ``(u_i, u_j)`` with
+suspiciousness ``Δ = c_ij``, Spade:
+
+1. prepends any brand-new endpoint to the head of the sequence with its
+   prior as the initial peeling weight (the paper initialises ``Δ_0 = 0``;
+   we use the prior ``a_u`` which coincides with 0 for DG/DW and is the
+   correct recovered value for FD);
+2. applies the edge to the graph and bumps ``f(V)``;
+3. marks the endpoint that appears *earlier* in the sequence as the seed —
+   Lemma 4.1 guarantees everything before it is untouched — and runs the
+   reordering engine from there.
+
+The returned :class:`~repro.core.reorder.ReorderStats` quantifies the
+affected area ``G_T`` that Section 4.1 uses in its complexity analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.reorder import ReorderStats, reorder_after_insertions
+from repro.core.state import PeelingState
+from repro.graph.graph import Vertex
+
+__all__ = ["insert_edge"]
+
+
+def insert_edge(
+    state: PeelingState,
+    src: Vertex,
+    dst: Vertex,
+    raw_weight: float = 1.0,
+    src_prior: Optional[float] = None,
+    dst_prior: Optional[float] = None,
+) -> ReorderStats:
+    """Insert one edge and incrementally restore the peeling sequence.
+
+    Parameters
+    ----------
+    state:
+        The maintained peeling state (graph + sequence + weights).
+    src, dst:
+        Edge endpoints; unknown endpoints become new vertices.
+    raw_weight:
+        The raw transaction weight carried by the update.  The state's
+        semantics decides how it maps to the edge suspiciousness ``c_ij``
+        (identically for DW, ignored by DG, degree-discounted by FD).
+    src_prior, dst_prior:
+        Optional vertex priors ("side information") for new endpoints.
+        Existing vertices keep their current prior.
+    """
+    graph = state.graph
+    semantics = state.semantics
+
+    added_suspiciousness = 0.0
+    seeds = []
+
+    for vertex, prior in ((src, src_prior), (dst, dst_prior)):
+        if graph.has_vertex(vertex):
+            continue
+        vertex_weight = float(prior) if prior is not None else semantics.vertex_weight(vertex, graph)
+        graph.add_vertex(vertex, vertex_weight)
+        state.prepend_vertex(vertex, vertex_weight)
+        added_suspiciousness += vertex_weight
+        seeds.append(vertex)
+
+    edge_weight = semantics.edge_weight(src, dst, raw_weight, graph)
+    graph.add_edge(src, dst, edge_weight)
+    added_suspiciousness += edge_weight
+    state.add_total(added_suspiciousness)
+
+    # Lemma 4.1: only the suffix starting at the earlier endpoint can change.
+    src_pos, dst_pos = state.position(src), state.position(dst)
+    earlier = src if src_pos <= dst_pos else dst
+    if earlier not in seeds:
+        seeds.append(earlier)
+
+    return reorder_after_insertions(state, seeds)

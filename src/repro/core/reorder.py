@@ -1,0 +1,257 @@
+"""Peeling-sequence reordering: the engine behind Spade's incrementality.
+
+Both insertion granularities of the paper — a single edge (Section 4.1,
+cases 1–3) and a batch of edges (Section 4.2, Algorithm 2 with the
+black/gray/white colouring) — reduce to the same reordering loop.  This
+module implements that loop once, carefully, and the thin wrappers in
+:mod:`repro.core.insertion` and :mod:`repro.core.batch` provide the
+paper-facing entry points.
+
+How the reordering works
+------------------------
+The maintained state is a valid greedy peeling sequence ``O`` with weights
+``Δ`` for the graph *before* the update.  After the new edges are applied,
+only a subset of positions can change:
+
+* **Black** vertices are the *seeds*: for every inserted edge, the endpoint
+  that appears earlier in ``O`` (its suffix weight grew by the edge weight),
+  plus every brand-new vertex (prepended to the head of ``O``).
+* **Gray** vertices are the collateral: whenever a vertex enters the pending
+  queue ``T``, its neighbours may no longer trust their stored weight and
+  are coloured gray.
+* **White** vertices are untouched: their stored weight still equals their
+  true peeling weight, so they can be re-emitted without looking at the
+  graph.
+
+The loop scans ``O`` from the first seed, maintaining a priority queue ``T``
+of displaced vertices keyed by their *recovered* peeling weight.  At each
+step it compares the head of ``T`` with the next sequence vertex:
+
+* ``Case 1`` — the head of ``T`` is smaller: pop it, place it, and decrease
+  the priorities of its neighbours still in ``T``.
+* ``Case 2(a)`` — the sequence vertex is black or gray: recover its true
+  weight and move it into ``T``.
+* ``Case 2(b)`` — the sequence vertex is white: place it as-is.
+
+When ``T`` drains, the contiguous *island* of rewritten positions is flushed
+back into the sequence and the scan jumps directly to the next seed — the
+skip that gives Spade its affected-area complexity
+``O(|E_T| + |E_T| log |V_T|)``.
+
+Tie-breaking matches the static algorithm (graph insertion order), so the
+reordered sequence is not merely *a* valid peeling sequence of ``G ⊕ ΔG``
+but exactly the one a from-scratch run would produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.graph import Vertex
+from repro.core.state import PeelingState
+
+__all__ = ["ReorderStats", "reorder_after_insertions"]
+
+
+@dataclass
+class ReorderStats:
+    """Cost accounting for one reordering pass (the paper's affected area)."""
+
+    #: Number of vertices that entered the pending queue ``T`` (``|V_T|``).
+    queued_vertices: int = 0
+    #: Number of vertices written back in a different position or with a new weight.
+    moved_vertices: int = 0
+    #: Number of sequence positions examined by the scan.
+    scanned_positions: int = 0
+    #: Number of edge traversals performed (``|E_T|`` up to constants).
+    edge_traversals: int = 0
+    #: Number of contiguous islands that were rewritten.
+    islands: int = 0
+
+    def merge(self, other: "ReorderStats") -> None:
+        """Accumulate another pass's counters into this one."""
+        self.queued_vertices += other.queued_vertices
+        self.moved_vertices += other.moved_vertices
+        self.scanned_positions += other.scanned_positions
+        self.edge_traversals += other.edge_traversals
+        self.islands += other.islands
+
+    @property
+    def affected_area(self) -> int:
+        """A single scalar summary of the work performed."""
+        return self.scanned_positions + self.edge_traversals
+
+
+def reorder_after_insertions(
+    state: PeelingState,
+    seeds: Iterable[Vertex],
+) -> ReorderStats:
+    """Reorder ``state`` after new edges have been applied to its graph.
+
+    Parameters
+    ----------
+    state:
+        The peeling state.  Its graph must already contain the inserted
+        edges, new vertices must already be prepended to the sequence
+        (:meth:`PeelingState.prepend_vertex`), and ``state.total`` must
+        already account for the added suspiciousness.
+    seeds:
+        The black vertices: earlier-positioned endpoints of the inserted
+        edges plus any brand-new vertices.
+
+    Returns
+    -------
+    ReorderStats
+        Affected-area accounting for the pass.
+    """
+    stats = ReorderStats()
+    graph = state.graph
+    order = state.order
+    weights = state.weights
+    tie_break = state.tie_break
+    n = len(order)
+
+    seed_set = {v for v in seeds if v in state}
+    if not seed_set or n == 0:
+        state.invalidate()
+        return stats
+
+    seed_positions = sorted({state.position(v) for v in seed_set})
+
+    black: Set[Vertex] = set(seed_set)
+    gray: Set[Vertex] = set()
+
+    heap: List[Tuple[float, int, Vertex]] = []
+    in_queue: Dict[Vertex, float] = {}
+
+    buffer_vertices: List[Vertex] = []
+    buffer_weights: List[float] = []
+    buffered: Set[Vertex] = set()
+
+    island_start = seed_positions[0]
+    seed_cursor = 0
+
+    def is_placed(vertex: Vertex) -> bool:
+        """True if ``vertex`` has already been (re)placed in the new sequence."""
+        if vertex in buffered:
+            return True
+        if vertex in in_queue:
+            return False
+        return state.position(vertex) < island_start
+
+    def recover_weight(vertex: Vertex) -> float:
+        """Recompute the true peeling weight of ``vertex`` w.r.t. the remaining set."""
+        total = graph.vertex_weight(vertex)
+        traversed = 0
+        for neighbor, edge_weight in graph.incident_items(vertex):
+            traversed += 1
+            if not is_placed(neighbor):
+                total += edge_weight
+        stats.edge_traversals += traversed
+        return total
+
+    def push_to_queue(vertex: Vertex) -> None:
+        """Case 2(a): recover the weight of ``vertex``, queue it, gray its neighbours."""
+        weight = recover_weight(vertex)
+        in_queue[vertex] = weight
+        heapq.heappush(heap, (weight, tie_break[vertex], vertex))
+        stats.queued_vertices += 1
+        for neighbor in graph.neighbors(vertex):
+            gray.add(neighbor)
+        stats.edge_traversals += graph.degree(vertex)
+
+    def queue_head() -> Optional[Tuple[float, int, Vertex]]:
+        """Return the live minimum of ``T`` (discarding stale heap entries)."""
+        while heap:
+            weight, tb, vertex = heap[0]
+            if in_queue.get(vertex) != weight:
+                heapq.heappop(heap)
+                continue
+            return weight, tb, vertex
+        return None
+
+    def place_from_queue() -> None:
+        """Case 1: pop the head of ``T`` and lower its neighbours' priorities."""
+        weight, _tb, vertex = heap[0]
+        heapq.heappop(heap)
+        del in_queue[vertex]
+        buffer_vertices.append(vertex)
+        buffer_weights.append(weight)
+        buffered.add(vertex)
+        for neighbor, edge_weight in graph.incident_items(vertex):
+            stats.edge_traversals += 1
+            if neighbor in in_queue:
+                lowered = in_queue[neighbor] - edge_weight
+                in_queue[neighbor] = lowered
+                heapq.heappush(heap, (lowered, tie_break[neighbor], neighbor))
+
+    def place_direct(vertex: Vertex, weight: float) -> None:
+        """Case 2(b): the vertex is white — re-emit it with its stored weight."""
+        buffer_vertices.append(vertex)
+        buffer_weights.append(weight)
+        buffered.add(vertex)
+
+    def flush_island(end: int) -> None:
+        """Write the rebuilt island back into positions ``[island_start, end)``."""
+        if not buffer_vertices:
+            return
+        if len(buffer_vertices) != end - island_start:
+            raise AssertionError(
+                "island accounting error: "
+                f"{len(buffer_vertices)} rebuilt vertices for span [{island_start}, {end})"
+            )
+        moved = 0
+        for offset, (vertex, weight) in enumerate(zip(buffer_vertices, buffer_weights)):
+            position = island_start + offset
+            if order[position] != vertex or float(weights[position]) != weight:
+                moved += 1
+        stats.moved_vertices += moved
+        state.write_segment(island_start, buffer_vertices, buffer_weights)
+        buffer_vertices.clear()
+        buffer_weights.clear()
+        buffered.clear()
+
+    k = island_start
+    while True:
+        head = queue_head()
+        if head is None:
+            # The island is complete: flush it and jump to the next seed.
+            flush_island(k)
+            while seed_cursor < len(seed_positions) and seed_positions[seed_cursor] < k:
+                seed_cursor += 1
+            if seed_cursor >= len(seed_positions):
+                break
+            island_start = k = seed_positions[seed_cursor]
+            seed_cursor += 1
+            stats.islands += 1
+            # Seed the new island: the vertex at this position is black.
+            stats.scanned_positions += 1
+            push_to_queue(order[k])
+            k += 1
+            continue
+
+        if k >= n:
+            # The original sequence is exhausted: drain the queue.
+            place_from_queue()
+            continue
+
+        head_weight, head_tb, _head_vertex = head
+        sequence_vertex = order[k]
+        sequence_weight = float(weights[k])
+        stats.scanned_positions += 1
+        if (head_weight, head_tb) < (sequence_weight, tie_break[sequence_vertex]):
+            # Case 1: the pending vertex is the true minimum.
+            place_from_queue()
+            continue
+        if sequence_vertex in black or sequence_vertex in gray:
+            # Case 2(a): the stored weight cannot be trusted; recover and queue.
+            push_to_queue(sequence_vertex)
+        else:
+            # Case 2(b): untouched vertex, re-emit as-is.
+            place_direct(sequence_vertex, sequence_weight)
+        k += 1
+
+    state.invalidate()
+    return stats

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch a single exception type at the
+boundary of their own systems while still being able to distinguish the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A graph operation was invalid (unknown vertex, negative weight, ...)."""
+
+
+class UnknownVertexError(GraphError):
+    """An operation referenced a vertex that is not part of the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not part of the graph")
+        self.vertex = vertex
+
+
+class DuplicateVertexError(GraphError):
+    """A vertex was added twice with conflicting attributes."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} already exists with a different weight")
+        self.vertex = vertex
+
+
+class InvalidWeightError(GraphError):
+    """A vertex or edge weight violated the density-metric preconditions.
+
+    Property 3.1 of the paper requires vertex weights ``a_i >= 0`` and edge
+    weights ``c_ij > 0`` for Spade's incremental maintenance to be correct,
+    so the graph layer rejects anything else up front.
+    """
+
+
+class SemanticsError(ReproError):
+    """A user-supplied suspiciousness function returned an invalid value."""
+
+
+class StateError(ReproError):
+    """The Spade engine was used before it was initialised, or misused."""
+
+
+class StreamError(ReproError):
+    """An update stream violated its contract (e.g. timestamps not sorted)."""
+
+
+class StorageError(ReproError):
+    """A dataset or snapshot could not be read or written."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured incorrectly."""

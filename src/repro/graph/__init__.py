@@ -1,0 +1,32 @@
+"""Dynamic weighted directed graphs and graph updates.
+
+This subpackage is the substrate every other part of the reproduction sits
+on.  It provides:
+
+* :class:`~repro.graph.graph.DynamicGraph` — an adjacency-list, weighted,
+  directed multigraph-as-simple-graph (parallel edges accumulate weight)
+  that supports the edge-insertion-only update model of the paper as well as
+  the edge deletions needed by Appendix C.
+* :class:`~repro.graph.delta.GraphDelta` / :class:`~repro.graph.delta.EdgeUpdate`
+  — the ``ΔG`` update objects applied with ``G ⊕ ΔG``.
+* :mod:`repro.graph.views` — induced subgraph views ``G[S]``.
+* :mod:`repro.graph.stats` — degree distributions and density statistics
+  used by the evaluation (Figure 9b).
+"""
+
+from repro.graph.delta import EdgeUpdate, GraphDelta
+from repro.graph.graph import DynamicGraph
+from repro.graph.views import InducedSubgraph, induced_subgraph
+from repro.graph.stats import DegreeDistribution, GraphStats, compute_stats, degree_distribution
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeUpdate",
+    "GraphDelta",
+    "InducedSubgraph",
+    "induced_subgraph",
+    "DegreeDistribution",
+    "GraphStats",
+    "compute_stats",
+    "degree_distribution",
+]

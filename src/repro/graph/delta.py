@@ -1,0 +1,153 @@
+"""Graph updates: the ``ΔG`` objects applied to a graph with ``G ⊕ ΔG``.
+
+The paper considers two update granularities (Section 2.1):
+
+* single edge insertion, ``|ΔE| = 1``;
+* batched edge insertion, ``|ΔE| > 1``;
+
+plus, in Appendix C, edge deletion for outdated transactions.  The stream
+layer additionally attaches timestamps to each update
+(:class:`repro.streaming.stream.TimestampedEdge`); this module only covers
+the structural part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import DynamicGraph, Vertex
+
+__all__ = ["EdgeUpdate", "GraphDelta", "apply_delta"]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single edge insertion (or deletion) with its suspiciousness weight.
+
+    Attributes
+    ----------
+    src, dst:
+        Edge endpoints.  New vertices are created on demand when the update
+        is applied.
+    weight:
+        The edge suspiciousness ``c_ij``.  For semantics that compute the
+        weight themselves (e.g. Fraudar's ``1 / log(deg + c)``) the stored
+        weight is ignored and recomputed by the engine at insertion time.
+    src_weight, dst_weight:
+        Optional vertex suspiciousness priors carried with the update
+        ("side information" in Fraudar's terms).
+    delete:
+        When true the update removes the edge instead of inserting it
+        (Appendix C.1).
+    """
+
+    src: Vertex
+    dst: Vertex
+    weight: float = 1.0
+    src_weight: float = 0.0
+    dst_weight: float = 0.0
+    delete: bool = False
+
+    @property
+    def edge(self) -> Tuple[Vertex, Vertex]:
+        """Return the ``(src, dst)`` pair."""
+        return (self.src, self.dst)
+
+    def reversed(self) -> "EdgeUpdate":
+        """Return the same update with src/dst swapped (useful in tests)."""
+        return EdgeUpdate(
+            src=self.dst,
+            dst=self.src,
+            weight=self.weight,
+            src_weight=self.dst_weight,
+            dst_weight=self.src_weight,
+            delete=self.delete,
+        )
+
+
+@dataclass
+class GraphDelta:
+    """A batch of edge updates, ``ΔG = (ΔV, ΔE)``.
+
+    ``ΔV`` is implicit: any endpoint of an update that is not yet in the
+    graph is a new vertex.  Explicit isolated new vertices can be added via
+    :attr:`new_vertices`.
+    """
+
+    updates: List[EdgeUpdate] = field(default_factory=list)
+    new_vertices: List[Tuple[Vertex, float]] = field(default_factory=list)
+
+    def add(self, update: EdgeUpdate) -> None:
+        """Append an update to the batch."""
+        self.updates.append(update)
+
+    def add_edge(self, src: Vertex, dst: Vertex, weight: float = 1.0) -> None:
+        """Convenience wrapper creating and appending an insertion."""
+        self.updates.append(EdgeUpdate(src, dst, weight))
+
+    def add_vertex(self, vertex: Vertex, weight: float = 0.0) -> None:
+        """Record an isolated new vertex carried by this delta."""
+        self.new_vertices.append((vertex, weight))
+
+    def insertions(self) -> Iterator[EdgeUpdate]:
+        """Iterate over the edge insertions in this delta."""
+        return (u for u in self.updates if not u.delete)
+
+    def deletions(self) -> Iterator[EdgeUpdate]:
+        """Iterate over the edge deletions in this delta."""
+        return (u for u in self.updates if u.delete)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self.updates)
+
+    def touched_vertices(self) -> List[Vertex]:
+        """Return the distinct vertices referenced by this delta, in order."""
+        seen = set()
+        ordered: List[Vertex] = []
+        for vertex, _weight in self.new_vertices:
+            if vertex not in seen:
+                seen.add(vertex)
+                ordered.append(vertex)
+        for update in self.updates:
+            for vertex in (update.src, update.dst):
+                if vertex not in seen:
+                    seen.add(vertex)
+                    ordered.append(vertex)
+        return ordered
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple]) -> "GraphDelta":
+        """Build an insertion-only delta from ``(src, dst[, weight])`` tuples."""
+        delta = cls()
+        for item in edges:
+            if len(item) == 2:
+                delta.add_edge(item[0], item[1])
+            else:
+                delta.add_edge(item[0], item[1], float(item[2]))
+        return delta
+
+
+def apply_delta(graph: DynamicGraph, delta: GraphDelta) -> DynamicGraph:
+    """Apply ``delta`` to ``graph`` in place and return the graph.
+
+    This is the plain structural ``G ⊕ ΔG`` of the paper; it does *not*
+    perform any incremental maintenance of peeling state — that is the job
+    of :mod:`repro.core`.  It exists so that static baselines and tests can
+    materialise the updated graph directly.
+    """
+    for vertex, weight in delta.new_vertices:
+        graph.add_vertex(vertex, weight)
+    for update in delta.updates:
+        if update.delete:
+            graph.remove_edge(update.src, update.dst)
+            continue
+        if update.src_weight:
+            graph.add_vertex(update.src, update.src_weight)
+        if update.dst_weight:
+            graph.add_vertex(update.dst, update.dst_weight)
+        graph.add_edge(update.src, update.dst, update.weight)
+    return graph

@@ -1,0 +1,102 @@
+"""Graph statistics used by the evaluation.
+
+The paper reports dataset statistics in Table 3 (|V|, |E|, average degree,
+number of increments) and the degree distribution of the Grab graph in
+Figure 9(b), observing that it follows a power law — which is the reason
+most edge insertions only touch a tiny affected area.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.graph import DynamicGraph
+
+__all__ = ["GraphStats", "DegreeDistribution", "compute_stats", "degree_distribution"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph, matching the columns of Table 3."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    total_vertex_weight: float
+    total_edge_weight: float
+    max_degree: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the stats as a dict suitable for table rendering."""
+        return {
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "avg. degree": round(self.avg_degree, 3),
+            "max degree": self.max_degree,
+            "f_V": round(self.total_vertex_weight, 3),
+            "f_E": round(self.total_edge_weight, 3),
+        }
+
+
+@dataclass(frozen=True)
+class DegreeDistribution:
+    """A degree histogram: ``frequency[d]`` = number of vertices of degree d."""
+
+    degrees: Tuple[int, ...]
+    frequencies: Tuple[int, ...]
+
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        """Return ``(degree, frequency)`` pairs sorted by degree."""
+        return list(zip(self.degrees, self.frequencies))
+
+    def power_law_exponent(self) -> float:
+        """Estimate the power-law exponent via a log-log least-squares fit.
+
+        The fit excludes degree 0; a heavy-tailed (power-law-like)
+        distribution has an exponent well below ``-1``.  The estimate is
+        only used to characterise workloads (Figure 9b), not for inference.
+        """
+        xs = np.array([d for d in self.degrees if d > 0], dtype=float)
+        ys = np.array(
+            [f for d, f in zip(self.degrees, self.frequencies) if d > 0], dtype=float
+        )
+        if len(xs) < 2:
+            return 0.0
+        slope, _intercept = np.polyfit(np.log(xs), np.log(ys), 1)
+        return float(slope)
+
+    def tail_mass(self, threshold: int) -> float:
+        """Return the fraction of vertices with degree >= ``threshold``."""
+        total = sum(self.frequencies)
+        if total == 0:
+            return 0.0
+        heavy = sum(f for d, f in zip(self.degrees, self.frequencies) if d >= threshold)
+        return heavy / total
+
+
+def compute_stats(graph: DynamicGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    n = graph.num_vertices()
+    m = graph.num_edges()
+    max_degree = max((graph.degree(v) for v in graph.vertices()), default=0)
+    avg_degree = (2.0 * m / n) if n else 0.0
+    return GraphStats(
+        num_vertices=n,
+        num_edges=m,
+        avg_degree=avg_degree,
+        total_vertex_weight=graph.total_vertex_weight(),
+        total_edge_weight=graph.total_edge_weight(),
+        max_degree=max_degree,
+    )
+
+
+def degree_distribution(graph: DynamicGraph) -> DegreeDistribution:
+    """Compute the (total-degree) histogram of ``graph`` (Figure 9b)."""
+    counter: Counter = Counter(graph.degree(v) for v in graph.vertices())
+    degrees = tuple(sorted(counter))
+    frequencies = tuple(counter[d] for d in degrees)
+    return DegreeDistribution(degrees=degrees, frequencies=frequencies)

@@ -1,0 +1,96 @@
+"""Induced subgraph views, ``G[S]``.
+
+Section 2.1 defines the induced subgraph ``G[S] = (S, E[S])`` with
+``E[S] = {(u, v) in E : u, v in S}``.  The density metrics of the paper are
+all evaluated on induced subgraphs, so this module provides both a cheap
+*view* (no copying, suitable for evaluating ``f`` and ``g``) and a
+materialising helper that returns a standalone :class:`DynamicGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterator, Tuple
+
+from repro.graph.graph import DynamicGraph, Vertex
+
+__all__ = ["InducedSubgraph", "induced_subgraph"]
+
+
+class InducedSubgraph:
+    """A lightweight read-only view of ``G[S]``.
+
+    The view holds references to the parent graph and the vertex set, so it
+    reflects later mutations of either.  It is intended for metric
+    evaluation, not for long-lived storage.
+    """
+
+    __slots__ = ("_graph", "_vertices")
+
+    def __init__(self, graph: DynamicGraph, vertices: AbstractSet[Vertex]) -> None:
+        self._graph = graph
+        self._vertices = vertices
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """Return the parent graph."""
+        return self._graph
+
+    @property
+    def vertex_set(self) -> AbstractSet[Vertex]:
+        """Return the vertex set ``S`` defining the view."""
+        return self._vertices
+
+    def num_vertices(self) -> int:
+        """Return ``|S|``."""
+        return len(self._vertices)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Iterate over the edges of ``E[S]`` as ``(src, dst, weight)``."""
+        graph = self._graph
+        vertices = self._vertices
+        for src in vertices:
+            if not graph.has_vertex(src):
+                continue
+            for dst, weight in graph.out_neighbors(src).items():
+                if dst in vertices:
+                    yield src, dst, weight
+
+    def num_edges(self) -> int:
+        """Return ``|E[S]|``."""
+        return sum(1 for _ in self.edges())
+
+    def total_edge_weight(self) -> float:
+        """Return the summed weight of ``E[S]``."""
+        return sum(weight for _src, _dst, weight in self.edges())
+
+    def total_vertex_weight(self) -> float:
+        """Return the summed vertex priors of ``S``."""
+        graph = self._graph
+        return sum(graph.vertex_weight(v) for v in self._vertices if graph.has_vertex(v))
+
+    def total_suspiciousness(self) -> float:
+        """Return ``f(S)`` as defined by Equation 1."""
+        return self.total_vertex_weight() + self.total_edge_weight()
+
+    def density(self) -> float:
+        """Return the arithmetic density ``g(S) = f(S) / |S|`` (0 for empty S)."""
+        size = self.num_vertices()
+        if size == 0:
+            return 0.0
+        return self.total_suspiciousness() / size
+
+    def materialize(self) -> DynamicGraph:
+        """Copy the view into a standalone :class:`DynamicGraph`."""
+        sub = DynamicGraph()
+        graph = self._graph
+        for vertex in self._vertices:
+            if graph.has_vertex(vertex):
+                sub.add_vertex(vertex, graph.vertex_weight(vertex))
+        for src, dst, weight in self.edges():
+            sub.add_edge(src, dst, weight)
+        return sub
+
+
+def induced_subgraph(graph: DynamicGraph, vertices: AbstractSet[Vertex]) -> InducedSubgraph:
+    """Return the induced-subgraph view ``G[S]``."""
+    return InducedSubgraph(graph, set(vertices))

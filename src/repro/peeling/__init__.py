@@ -1,0 +1,54 @@
+"""Static peeling algorithms and density semantics.
+
+This subpackage implements everything the paper assumes as pre-existing
+machinery:
+
+* the generic greedy peeling paradigm of Algorithm 1
+  (:func:`repro.peeling.static.peel`),
+* the three density semantics of Table 1 — DG (Charikar's unweighted densest
+  subgraph), DW (edge-weighted dense subgraph) and FD (Fraudar) — expressed
+  through the same ``vsusp`` / ``esusp`` plug-in interface that the Spade
+  API exposes (:mod:`repro.peeling.semantics`),
+* an exact densest-subgraph reference solver based on Goldberg's max-flow
+  construction plus a brute-force solver for tiny graphs
+  (:mod:`repro.peeling.exact`), used to validate the 1/2-approximation
+  guarantee of Lemma 2.1,
+* validity and guarantee checks shared by the test-suite and the benchmark
+  harness (:mod:`repro.peeling.guarantees`).
+"""
+
+from repro.peeling.result import PeelingResult
+from repro.peeling.semantics import (
+    PeelingSemantics,
+    custom_semantics,
+    dg_semantics,
+    dw_semantics,
+    fraudar_semantics,
+    subset_density,
+    subset_suspiciousness,
+)
+from repro.peeling.static import peel, peel_subset
+from repro.peeling.exact import brute_force_densest, goldberg_densest
+from repro.peeling.guarantees import (
+    check_approximation_guarantee,
+    is_valid_peeling_sequence,
+    verify_axioms,
+)
+
+__all__ = [
+    "PeelingResult",
+    "PeelingSemantics",
+    "custom_semantics",
+    "dg_semantics",
+    "dw_semantics",
+    "fraudar_semantics",
+    "subset_density",
+    "subset_suspiciousness",
+    "peel",
+    "peel_subset",
+    "brute_force_densest",
+    "goldberg_densest",
+    "check_approximation_guarantee",
+    "is_valid_peeling_sequence",
+    "verify_axioms",
+]

@@ -1,0 +1,171 @@
+"""Correctness and guarantee checks shared by tests and benchmarks.
+
+Three families of checks:
+
+* :func:`is_valid_peeling_sequence` — verifies that a sequence (static or
+  incrementally maintained) is a legal greedy peeling of a graph: at every
+  step the removed vertex has the (tolerance-adjusted) minimum peeling
+  weight, and the recorded weight matches the true peeling weight.
+* :func:`check_approximation_guarantee` — Lemma 2.1: the peeling community
+  is at least half as dense as the exact optimum.
+* :func:`verify_axioms` — the density-metric axioms of Appendix E
+  (vertex suspiciousness, edge suspiciousness, concentration) evaluated on
+  concrete graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.graph.graph import DynamicGraph, Vertex
+from repro.peeling.exact import brute_force_densest, goldberg_densest
+from repro.peeling.result import PeelingResult
+from repro.peeling.semantics import subset_density, subset_suspiciousness
+
+__all__ = [
+    "SequenceCheck",
+    "is_valid_peeling_sequence",
+    "check_approximation_guarantee",
+    "verify_axioms",
+]
+
+
+@dataclass(frozen=True)
+class SequenceCheck:
+    """Outcome of validating a peeling sequence against a graph."""
+
+    valid: bool
+    message: str = ""
+    failing_position: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def is_valid_peeling_sequence(
+    graph: DynamicGraph,
+    order: Sequence[Vertex],
+    weights: Optional[Sequence[float]] = None,
+    tolerance: float = 1e-7,
+) -> SequenceCheck:
+    """Check that ``order`` is a valid greedy peeling sequence of ``graph``.
+
+    Validity means: the sequence covers every vertex exactly once and, at
+    every step, the peeled vertex's true peeling weight is within
+    ``tolerance`` of the minimum over the remaining set.  When ``weights``
+    are supplied they are additionally compared against the recomputed
+    peeling weights.
+    """
+    vertices = set(graph.vertices())
+    if set(order) != vertices or len(order) != len(vertices):
+        return SequenceCheck(False, "sequence does not cover the vertex set exactly once")
+
+    # Current peeling weight of every vertex w.r.t. the not-yet-peeled set.
+    current = {
+        v: graph.vertex_weight(v) + graph.incident_weight(v) for v in vertices
+    }
+    remaining = set(vertices)
+
+    for position, vertex in enumerate(order):
+        true_weight = current[vertex]
+        min_weight = min(current[v] for v in remaining)
+        if true_weight > min_weight + tolerance:
+            return SequenceCheck(
+                False,
+                f"position {position}: peeled {vertex!r} with weight {true_weight:.6f} "
+                f"but the minimum was {min_weight:.6f}",
+                failing_position=position,
+            )
+        if weights is not None and abs(weights[position] - true_weight) > tolerance:
+            return SequenceCheck(
+                False,
+                f"position {position}: recorded weight {weights[position]:.6f} does not "
+                f"match the true peeling weight {true_weight:.6f}",
+                failing_position=position,
+            )
+        remaining.discard(vertex)
+        for nbr, edge_weight in graph.incident_items(vertex):
+            if nbr in remaining:
+                current[nbr] -= edge_weight
+    return SequenceCheck(True, "valid peeling sequence")
+
+
+def check_approximation_guarantee(
+    graph: DynamicGraph,
+    result: PeelingResult,
+    exact: str = "auto",
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check Lemma 2.1: ``g(S_P) >= g(S*) / 2``.
+
+    Parameters
+    ----------
+    exact:
+        ``"brute"`` uses exhaustive enumeration, ``"flow"`` uses the
+        Goldberg solver, ``"auto"`` picks brute force for tiny graphs and
+        flow otherwise.
+    """
+    if graph.num_vertices() == 0:
+        return True
+    if exact == "auto":
+        exact = "brute" if graph.num_vertices() <= 14 else "flow"
+    if exact == "brute":
+        optimum = brute_force_densest(graph)
+    elif exact == "flow":
+        optimum = goldberg_densest(graph)
+    else:
+        raise ValueError(f"unknown exact solver {exact!r}")
+    achieved = subset_density(graph, result.community)
+    return achieved + tolerance >= optimum.density / 2.0
+
+
+def verify_axioms(graph: DynamicGraph, samples: int = 25, seed: int = 0) -> bool:
+    """Spot-check the Appendix E axioms on random subsets of ``graph``.
+
+    * Axiom 1 (vertex suspiciousness): adding prior weight to a vertex of
+      ``S`` increases ``g(S)``.
+    * Axiom 2 (edge suspiciousness): adding an edge inside ``S`` increases
+      ``g(S)``.
+    * Axiom 3 (concentration): for equal ``f``, the smaller set is denser.
+
+    These are direct consequences of the arithmetic-density form and are
+    verified numerically to guard against metric-evaluation regressions.
+    """
+    import random
+
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 3:
+        return True
+
+    for _ in range(samples):
+        size = rng.randint(2, max(2, min(len(vertices), 8)))
+        subset = set(rng.sample(vertices, size))
+        base_f = subset_suspiciousness(graph, subset)
+        base_g = base_f / len(subset)
+
+        # Axiom 1: increase a vertex prior inside S.
+        probe = graph.copy()
+        target = next(iter(subset))
+        probe.set_vertex_weight(target, probe.vertex_weight(target) + 1.0)
+        if subset_density(probe, subset) <= base_g:
+            return False
+
+        # Axiom 2: add (or reinforce) an edge inside S.
+        probe = graph.copy()
+        members = list(subset)
+        src, dst = members[0], members[1]
+        probe.add_edge(src, dst, 1.0)
+        if subset_density(probe, subset) <= base_g:
+            return False
+
+        # Axiom 3: compare against a strictly larger set with the same f.
+        # Constructed by adding an isolated zero-weight vertex to S.
+        probe = graph.copy()
+        filler = ("__axiom3_filler__", rng.random())
+        probe.add_vertex(filler, 0.0)
+        larger = set(subset) | {filler}
+        if base_f > 0 and subset_density(probe, larger) >= base_g:
+            return False
+    return True

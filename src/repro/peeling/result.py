@@ -1,0 +1,145 @@
+"""The result of a peeling run: sequence, weights, densities and community.
+
+Algorithm 1 of the paper produces a *peeling sequence* ``O = [u_1, ..., u_n]``
+(the order in which vertices are removed) together with the *peeling weight*
+``Δ_i = w_{u_i}(S_{i-1})`` of each removal.  The fraudulent community is the
+suffix ``S_k = {u_{k+1}, ..., u_n}`` maximising the density ``g(S_k)``.
+
+Because the peeling weights telescope —
+
+.. math:: f(S_i) = f(S_{i-1}) - Δ_i, \\qquad f(S_0) = f(V)
+
+— the whole density profile can be reconstructed from ``(O, Δ, f(V))``
+without re-touching the graph, which is exactly what the incremental engine
+exploits.  :class:`PeelingResult` stores that triple plus the derived
+community, and offers the derived views used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.graph.graph import Vertex
+
+__all__ = ["PeelingResult", "densities_from_weights", "best_suffix"]
+
+
+def densities_from_weights(total: float, weights: Sequence[float]) -> List[float]:
+    """Return ``[g(S_0), g(S_1), ..., g(S_{n-1})]`` from the peeling weights.
+
+    ``g(S_i)`` is the density of the vertex set remaining after ``i`` peels;
+    ``g(S_n)`` (the empty set) is defined as 0 and omitted.
+    """
+    n = len(weights)
+    densities: List[float] = []
+    remaining = total
+    for i in range(n):
+        densities.append(remaining / (n - i))
+        remaining -= weights[i]
+    return densities
+
+
+def best_suffix(total: float, weights: Sequence[float]) -> Tuple[int, float]:
+    """Return ``(k, g(S_k))`` maximising the suffix density.
+
+    ``k`` is the number of peeled vertices; the community is
+    ``order[k:]``.  Ties are broken towards the smallest ``k`` (the largest
+    community), matching ``arg max_{S_i} g(S_i)`` evaluated in peel order.
+    """
+    n = len(weights)
+    if n == 0:
+        return 0, 0.0
+    best_k = 0
+    best_density = total / n
+    remaining = total
+    for i in range(n - 1):
+        remaining -= weights[i]
+        density = remaining / (n - i - 1)
+        if density > best_density + 1e-12:
+            best_density = density
+            best_k = i + 1
+    return best_k, best_density
+
+
+@dataclass(frozen=True)
+class PeelingResult:
+    """Outcome of a (static or incrementally maintained) peeling run."""
+
+    #: Peeling sequence ``O``: vertices in removal order.
+    order: Tuple[Vertex, ...]
+    #: Peeling weights ``Δ_i = w_{u_i}(S_{i-1})`` aligned with ``order``.
+    weights: Tuple[float, ...]
+    #: Total suspiciousness of the full graph, ``f(V)``.
+    total_suspiciousness: float
+    #: Number of peeled vertices before the returned community.
+    best_index: int
+    #: Density ``g(S_P)`` of the returned community.
+    best_density: float
+    #: The fraudulent community ``S_P`` (suffix of ``order``).
+    community: FrozenSet[Vertex]
+    #: Name of the semantics that produced the result (``DG``/``DW``/``FD``/...).
+    semantics_name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if len(self.order) != len(self.weights):
+            raise ValueError(
+                f"order and weights must align: {len(self.order)} != {len(self.weights)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Return the number of vertices covered by the sequence."""
+        return len(self.order)
+
+    def densities(self) -> List[float]:
+        """Return the density profile ``[g(S_0), ..., g(S_{n-1})]``."""
+        return densities_from_weights(self.total_suspiciousness, self.weights)
+
+    def suffix_set(self, k: int) -> FrozenSet[Vertex]:
+        """Return ``S_k``, the vertex set remaining after ``k`` peels."""
+        if k < 0 or k > len(self.order):
+            raise IndexError(f"k must be in [0, {len(self.order)}], got {k}")
+        return frozenset(self.order[k:])
+
+    def position_of(self, vertex: Vertex) -> int:
+        """Return the 0-based peel position of ``vertex`` (linear scan)."""
+        for index, candidate in enumerate(self.order):
+            if candidate == vertex:
+                return index
+        raise KeyError(vertex)
+
+    def community_size(self) -> int:
+        """Return ``|S_P|``."""
+        return len(self.community)
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"{self.semantics_name}: |V|={self.num_vertices} peeled, "
+            f"community of {self.community_size()} vertices at density "
+            f"{self.best_density:.4f}"
+        )
+
+    @classmethod
+    def from_sequence(
+        cls,
+        order: Sequence[Vertex],
+        weights: Sequence[float],
+        total_suspiciousness: float,
+        semantics_name: str = "custom",
+    ) -> "PeelingResult":
+        """Build a result from a sequence and weights, deriving the community."""
+        best_k, best_density = best_suffix(total_suspiciousness, weights)
+        return cls(
+            order=tuple(order),
+            weights=tuple(weights),
+            total_suspiciousness=float(total_suspiciousness),
+            best_index=best_k,
+            best_density=best_density,
+            community=frozenset(order[best_k:]),
+            semantics_name=semantics_name,
+        )

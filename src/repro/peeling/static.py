@@ -1,0 +1,143 @@
+"""Static peeling: Algorithm 1 of the paper.
+
+The greedy peeling paradigm removes, at every step, the vertex whose removal
+decreases ``f`` the least (equivalently, maximises the density of what
+remains), using a min-heap keyed by the peeling weight
+
+.. math::
+
+    w_{u_i}(S) = a_i + \\sum_{(u_i,u_j)\\in E, u_j \\in S} c_{ij}
+               + \\sum_{(u_j,u_i)\\in E, u_j \\in S} c_{ji}
+
+(Equation 2).  The complexity is ``O(|E| log |V|)``.
+
+This module is the *baseline* re-used throughout the evaluation: DG, DW and
+FD are all this routine applied to differently weighted graphs (see
+:mod:`repro.peeling.semantics`).  It is also the reference implementation
+the property-based tests compare the incremental engine against.
+
+Tie-breaking
+------------
+When several vertices share the minimum peeling weight the algorithm peels
+the one with the smallest *insertion index* (the order vertices entered the
+graph).  The incremental engine uses the same rule so that, in the absence
+of floating-point coincidences, both produce identical sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import AbstractSet, Dict, List, Optional, Tuple
+
+from repro.graph.graph import DynamicGraph, Vertex
+from repro.peeling.result import PeelingResult
+
+__all__ = ["peel", "peel_subset", "peeling_weights"]
+
+
+def peeling_weights(graph: DynamicGraph, subset: Optional[AbstractSet[Vertex]] = None) -> Dict[Vertex, float]:
+    """Return ``w_u(S)`` for every ``u`` in ``S`` (default: the whole graph)."""
+    if subset is None:
+        weights = {}
+        for vertex in graph.vertices():
+            weights[vertex] = graph.vertex_weight(vertex) + graph.incident_weight(vertex)
+        return weights
+    members = set(subset)
+    weights = {}
+    for vertex in members:
+        total = graph.vertex_weight(vertex)
+        for nbr, weight in graph.incident_items(vertex):
+            if nbr in members:
+                total += weight
+        weights[vertex] = total
+    return weights
+
+
+def peel(graph: DynamicGraph, semantics_name: str = "custom") -> PeelingResult:
+    """Run Algorithm 1 on a weighted graph and return the peeling result.
+
+    The graph is expected to already carry materialised suspiciousness
+    weights (see :meth:`repro.peeling.semantics.PeelingSemantics.materialize`).
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph ``G``.
+    semantics_name:
+        Label recorded in the result (used by reports and benchmarks).
+    """
+    order, weights, total = _peel_vertices(graph, None)
+    return PeelingResult.from_sequence(order, weights, total, semantics_name=semantics_name)
+
+
+def peel_subset(
+    graph: DynamicGraph,
+    subset: AbstractSet[Vertex],
+    semantics_name: str = "custom",
+) -> PeelingResult:
+    """Run Algorithm 1 restricted to the induced subgraph ``G[S]``.
+
+    Used by dense-subgraph enumeration (Appendix C.2), which repeatedly
+    peels the graph that remains after removing an already-reported
+    community.
+    """
+    order, weights, total = _peel_vertices(graph, set(subset))
+    return PeelingResult.from_sequence(order, weights, total, semantics_name=semantics_name)
+
+
+def _peel_vertices(
+    graph: DynamicGraph,
+    subset: Optional[AbstractSet[Vertex]],
+) -> Tuple[List[Vertex], List[float], float]:
+    """Core greedy loop shared by :func:`peel` and :func:`peel_subset`."""
+    if subset is None:
+        members = list(graph.vertices())
+    else:
+        members = [v for v in subset if graph.has_vertex(v)]
+    member_set = set(members)
+
+    # Stable tie-breaking index: order of first appearance in the graph.
+    tie_break: Dict[Vertex, int] = {}
+    for index, vertex in enumerate(graph.vertices()):
+        tie_break[vertex] = index
+
+    current: Dict[Vertex, float] = {}
+    total = 0.0
+    for vertex in members:
+        weight = graph.vertex_weight(vertex)
+        total += weight
+        incident = 0.0
+        for nbr, edge_weight in graph.incident_items(vertex):
+            if nbr in member_set:
+                incident += edge_weight
+        current[vertex] = weight + incident
+    # Every intra-subset edge was counted twice (once per endpoint).
+    edge_total = (sum(current.values()) - total) / 2.0
+    total += edge_total
+
+    heap: List[Tuple[float, int, Vertex]] = [
+        (current[vertex], tie_break[vertex], vertex) for vertex in members
+    ]
+    heapq.heapify(heap)
+
+    removed: set = set()
+    order: List[Vertex] = []
+    weights: List[float] = []
+
+    while heap:
+        weight, _tb, vertex = heapq.heappop(heap)
+        if vertex in removed:
+            continue
+        if weight != current[vertex]:
+            # Stale entry: the vertex lost incident weight since this entry
+            # was pushed.  The up-to-date entry is still in the heap.
+            continue
+        removed.add(vertex)
+        order.append(vertex)
+        weights.append(weight)
+        for nbr, edge_weight in graph.incident_items(vertex):
+            if nbr in member_set and nbr not in removed:
+                current[nbr] -= edge_weight
+                heapq.heappush(heap, (current[nbr], tie_break[nbr], nbr))
+
+    return order, weights, total

@@ -1,0 +1,27 @@
+"""Grab's fraud-detection data pipeline (Figure 1 of the paper).
+
+The pipeline has four stages: 1) graph construction from transaction logs,
+2) graph updates, 3) dense-subgraph detection and 4) moderator action.
+This subpackage provides a faithful, runnable simulation of that pipeline
+with two interchangeable detectors — the pre-Spade periodic static detector
+and the real-time Spade detector — so the examples and the case-study
+experiments can compare them end to end.
+"""
+
+from repro.pipeline.transaction_log import TransactionLog, TransactionRecord
+from repro.pipeline.builder import GraphBuilder
+from repro.pipeline.detector import PeriodicStaticDetector, RealTimeSpadeDetector
+from repro.pipeline.moderator import Moderator, ModerationAction
+from repro.pipeline.pipeline import FraudDetectionPipeline, PipelineReport
+
+__all__ = [
+    "TransactionLog",
+    "TransactionRecord",
+    "GraphBuilder",
+    "PeriodicStaticDetector",
+    "RealTimeSpadeDetector",
+    "Moderator",
+    "ModerationAction",
+    "FraudDetectionPipeline",
+    "PipelineReport",
+]

@@ -1,0 +1,51 @@
+"""Graph construction from transaction logs (stage 1 of Figure 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.graph.graph import DynamicGraph
+from repro.peeling.semantics import PeelingSemantics, dw_semantics
+from repro.pipeline.transaction_log import TransactionLog, TransactionRecord
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds and incrementally extends the weighted transaction graph.
+
+    The builder owns the mapping from business objects (customers,
+    merchants, amounts) to graph objects (vertices, weighted edges) under a
+    chosen suspiciousness semantics, so the rest of the pipeline never has
+    to think about weighting rules.
+    """
+
+    def __init__(self, semantics: Optional[PeelingSemantics] = None) -> None:
+        self._semantics = semantics or dw_semantics()
+
+    @property
+    def semantics(self) -> PeelingSemantics:
+        """The semantics used to weight vertices and edges."""
+        return self._semantics
+
+    def build(self, log: TransactionLog) -> DynamicGraph:
+        """Materialise the weighted graph for a whole transaction log."""
+        edges = [(r.customer, r.merchant, r.amount) for r in log]
+        return self._semantics.materialize(edges)
+
+    def extend(self, graph: DynamicGraph, records: Iterable[TransactionRecord]) -> int:
+        """Apply new transactions to an existing graph; returns the count.
+
+        This is the plain structural update ``G ⊕ ΔG`` used by the periodic
+        static detector; the real-time detector goes through Spade instead
+        so that the peeling sequence is maintained as well.
+        """
+        count = 0
+        for record in records:
+            for vertex in (record.customer, record.merchant):
+                if not graph.has_vertex(vertex):
+                    graph.add_vertex(vertex, self._semantics.vertex_weight(vertex, graph))
+            weight = self._semantics.edge_weight(record.customer, record.merchant, record.amount, graph)
+            graph.add_edge(record.customer, record.merchant, weight)
+            count += 1
+        return count

@@ -1,0 +1,107 @@
+"""Moderator actions (stage 4 of Figure 1): ban, analyse, supervise.
+
+Once fraudsters are identified, Grab's moderators ban or freeze the
+accounts to avoid further economic loss.  The :class:`Moderator` keeps the
+ban list, blocks transactions from banned accounts and tallies the loss it
+prevented — the quantity behind the paper's "up to 88.34 % potential fraud
+transactions can be prevented" headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, List, Set
+
+from repro.graph.graph import Vertex
+from repro.pipeline.transaction_log import TransactionRecord
+
+__all__ = ["ModerationAction", "Moderator"]
+
+
+@dataclass(frozen=True)
+class ModerationAction:
+    """One ban decision taken by the moderator."""
+
+    timestamp: float
+    banned: frozenset
+    reason: str
+
+
+class Moderator:
+    """Keeps the ban list and accounts for prevented transactions."""
+
+    def __init__(self, auto_ban: bool = True) -> None:
+        self.auto_ban = auto_ban
+        self._banned: Set[Vertex] = set()
+        self._actions: List[ModerationAction] = []
+        self._prevented: List[TransactionRecord] = []
+        self._prevented_amount: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Ban management
+    # ------------------------------------------------------------------ #
+    @property
+    def banned_accounts(self) -> AbstractSet[Vertex]:
+        """The current ban list."""
+        return self._banned
+
+    @property
+    def actions(self) -> List[ModerationAction]:
+        """Every ban decision taken so far."""
+        return list(self._actions)
+
+    def review(self, fraudsters: AbstractSet[Vertex], timestamp: float, reason: str = "dense community") -> int:
+        """Review a detected community and ban its unbanned members.
+
+        Returns the number of newly banned accounts (0 when ``auto_ban`` is
+        off — the moderator then only records the detection for analysis).
+        """
+        new = set(fraudsters) - self._banned
+        if not new or not self.auto_ban:
+            return 0
+        self._banned.update(new)
+        self._actions.append(
+            ModerationAction(timestamp=timestamp, banned=frozenset(new), reason=reason)
+        )
+        return len(new)
+
+    # ------------------------------------------------------------------ #
+    # Transaction screening
+    # ------------------------------------------------------------------ #
+    def screen(self, record: TransactionRecord) -> bool:
+        """Return True when the transaction is allowed, False when blocked.
+
+        A transaction is blocked when either account is banned; blocked
+        transactions are tallied as prevented loss.
+        """
+        if record.customer in self._banned or record.merchant in self._banned:
+            self._prevented.append(record)
+            self._prevented_amount += record.amount
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def prevented_transactions(self) -> int:
+        """Return the number of blocked transactions."""
+        return len(self._prevented)
+
+    def prevented_amount(self) -> float:
+        """Return the total blocked transaction amount."""
+        return self._prevented_amount
+
+    def prevention_ratio(self, labelled_total: int) -> float:
+        """Return blocked / total for a known number of fraudulent transactions."""
+        if labelled_total <= 0:
+            return 0.0
+        return min(1.0, len(self._prevented) / labelled_total)
+
+    def summary(self) -> Dict[str, object]:
+        """Return a report-friendly summary."""
+        return {
+            "banned accounts": len(self._banned),
+            "ban actions": len(self._actions),
+            "prevented transactions": len(self._prevented),
+            "prevented amount": round(self._prevented_amount, 2),
+        }

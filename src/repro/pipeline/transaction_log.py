@@ -1,0 +1,89 @@
+"""Transaction logs: the raw input of the fraud-detection pipeline.
+
+Stage 1 of Figure 1 consumes transaction logs and forms the transaction
+graph.  A :class:`TransactionRecord` carries the fields the pipeline needs
+(payer, payee, amount, timestamp) plus optional metadata; a
+:class:`TransactionLog` is an ordered collection with conversion helpers to
+and from the streaming layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import StreamError
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+__all__ = ["TransactionRecord", "TransactionLog"]
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One row of the transaction log."""
+
+    transaction_id: str
+    customer: str
+    merchant: str
+    amount: float
+    timestamp: float
+    #: Optional free-form metadata (payment method, promo code, ...).
+    metadata: Dict[str, str] = field(default_factory=dict)
+    #: Ground-truth fraud label when the record comes from an injected burst.
+    fraud_label: Optional[str] = None
+
+    def as_edge(self) -> TimestampedEdge:
+        """Convert the record into a streamed edge (customer → merchant)."""
+        return TimestampedEdge(
+            src=self.customer,
+            dst=self.merchant,
+            timestamp=self.timestamp,
+            weight=self.amount,
+            fraud_label=self.fraud_label,
+        )
+
+
+class TransactionLog:
+    """An append-only, timestamp-ordered collection of transaction records."""
+
+    def __init__(self, records: Optional[Iterable[TransactionRecord]] = None) -> None:
+        self._records: List[TransactionRecord] = sorted(records or [], key=lambda r: r.timestamp)
+
+    def append(self, record: TransactionRecord) -> None:
+        """Append a record; timestamps must not go backwards."""
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            raise StreamError(
+                f"transaction {record.transaction_id} arrives out of order "
+                f"({record.timestamp} < {self._records[-1].timestamp})"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TransactionRecord]:
+        return iter(self._records)
+
+    def window(self, start: float, end: float) -> "TransactionLog":
+        """Return the records with ``start <= timestamp < end``."""
+        return TransactionLog(r for r in self._records if start <= r.timestamp < end)
+
+    def as_stream(self) -> UpdateStream:
+        """Convert the log into an update stream."""
+        return UpdateStream([r.as_edge() for r in self._records])
+
+    @classmethod
+    def from_stream(cls, stream: UpdateStream, id_prefix: str = "tx") -> "TransactionLog":
+        """Build a log from a stream (inverse of :meth:`as_stream`)."""
+        records = [
+            TransactionRecord(
+                transaction_id=f"{id_prefix}-{index}",
+                customer=str(edge.src),
+                merchant=str(edge.dst),
+                amount=edge.weight,
+                timestamp=edge.timestamp,
+                fraud_label=edge.fraud_label,
+            )
+            for index, edge in enumerate(stream)
+        ]
+        return cls(records)

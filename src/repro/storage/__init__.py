@@ -1,0 +1,27 @@
+"""Graph and dataset storage (the "storage system (DFS)" box of Figure 4).
+
+Spade's architecture loads transaction graphs from a distributed file
+system and persists detection results for the moderators.  The reproduction
+keeps the same separation of concerns with plain files:
+
+* :mod:`repro.storage.edgelist` — tab-separated edge lists (the exchange
+  format of the public datasets and of ``LoadGraph``);
+* :mod:`repro.storage.jsonl` — JSON-lines serialisation of timestamped
+  update streams and detection results;
+* :mod:`repro.storage.store` — a directory-backed snapshot store with named
+  snapshots of graphs, streams and results.
+"""
+
+from repro.storage.edgelist import read_edgelist, write_edgelist
+from repro.storage.jsonl import read_stream, write_stream, read_records, write_records
+from repro.storage.store import SnapshotStore
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_stream",
+    "write_stream",
+    "read_records",
+    "write_records",
+    "SnapshotStore",
+]

@@ -1,0 +1,91 @@
+"""JSON-lines serialisation of update streams and arbitrary records.
+
+Streams are stored one transaction per line so that very large streams can
+be written and replayed without loading everything in memory twice; the
+record helpers are used by the benchmark harness to persist experiment
+results next to the generated tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Union
+
+from repro.errors import StorageError
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+__all__ = ["write_stream", "read_stream", "write_records", "read_records"]
+
+PathLike = Union[str, Path]
+
+
+def write_stream(path: PathLike, stream: UpdateStream) -> int:
+    """Persist an update stream as JSON lines; returns the edge count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for edge in stream:
+            record = {
+                "src": edge.src,
+                "dst": edge.dst,
+                "timestamp": edge.timestamp,
+                "weight": edge.weight,
+            }
+            if edge.fraud_label is not None:
+                record["fraud_label"] = edge.fraud_label
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_stream(path: PathLike) -> UpdateStream:
+    """Load an update stream previously written by :func:`write_stream`."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"stream file not found: {path}")
+    edges: List[TimestampedEdge] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(f"{path}:{lineno}: invalid JSON") from exc
+            edges.append(
+                TimestampedEdge(
+                    src=record["src"],
+                    dst=record["dst"],
+                    timestamp=float(record["timestamp"]),
+                    weight=float(record.get("weight", 1.0)),
+                    fraud_label=record.get("fraud_label"),
+                )
+            )
+    return UpdateStream(edges, sort=True)
+
+
+def write_records(path: PathLike, records: Iterable[Dict]) -> int:
+    """Write arbitrary dict records as JSON lines; returns the count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+            count += 1
+    return count
+
+
+def read_records(path: PathLike) -> Iterator[Dict]:
+    """Yield dict records from a JSON-lines file."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"records file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

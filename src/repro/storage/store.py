@@ -1,0 +1,131 @@
+"""A directory-backed snapshot store for graphs, streams and results.
+
+The production system keeps periodic graph snapshots and detection results
+on a distributed file system; this class provides the same capability on a
+local directory with a flat namespace:
+
+* graphs are stored as weighted edge lists plus a vertex-prior sidecar;
+* streams as JSON lines;
+* arbitrary result payloads as JSON documents.
+
+Every artefact is addressed by a snapshot name, and the store keeps a small
+manifest so callers can list what exists without knowing the layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import StorageError
+from repro.graph.graph import DynamicGraph
+from repro.storage.edgelist import read_edgelist, write_edgelist
+from repro.storage.jsonl import read_stream, write_stream
+from repro.streaming.stream import UpdateStream
+
+__all__ = ["SnapshotStore"]
+
+PathLike = Union[str, Path]
+
+
+class SnapshotStore:
+    """Store named snapshots of graphs, streams and JSON results on disk."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self._root / self.MANIFEST
+        self._manifest: Dict[str, Dict[str, str]] = {}
+        if self._manifest_path.exists():
+            self._manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Manifest helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def _record(self, name: str, kind: str, filename: str) -> None:
+        self._manifest[name] = {"kind": kind, "file": filename}
+        self._manifest_path.write_text(json.dumps(self._manifest, indent=2), encoding="utf-8")
+
+    def list_snapshots(self, kind: Optional[str] = None) -> List[str]:
+        """Return the snapshot names, optionally filtered by kind."""
+        return sorted(
+            name for name, meta in self._manifest.items() if kind is None or meta["kind"] == kind
+        )
+
+    def contains(self, name: str) -> bool:
+        """Return whether a snapshot with this name exists."""
+        return name in self._manifest
+
+    # ------------------------------------------------------------------ #
+    # Graph snapshots
+    # ------------------------------------------------------------------ #
+    def save_graph(self, name: str, graph: DynamicGraph) -> Path:
+        """Persist a weighted graph snapshot."""
+        edge_file = f"{name}.edges.tsv"
+        prior_file = f"{name}.priors.json"
+        write_edgelist(self._root / edge_file, graph.edges())
+        priors = {str(v): graph.vertex_weight(v) for v in graph.vertices()}
+        (self._root / prior_file).write_text(json.dumps(priors), encoding="utf-8")
+        self._record(name, "graph", edge_file)
+        return self._root / edge_file
+
+    def load_graph(self, name: str) -> DynamicGraph:
+        """Load a previously saved graph snapshot."""
+        meta = self._require(name, "graph")
+        edges = read_edgelist(self._root / meta["file"])
+        graph = DynamicGraph()
+        prior_path = self._root / meta["file"].replace(".edges.tsv", ".priors.json")
+        priors = {}
+        if prior_path.exists():
+            priors = json.loads(prior_path.read_text(encoding="utf-8"))
+        for vertex, weight in priors.items():
+            graph.add_vertex(vertex, float(weight))
+        for src, dst, weight in edges:
+            graph.add_edge(src, dst, weight)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Stream snapshots
+    # ------------------------------------------------------------------ #
+    def save_stream(self, name: str, stream: UpdateStream) -> Path:
+        """Persist an update stream snapshot."""
+        filename = f"{name}.stream.jsonl"
+        write_stream(self._root / filename, stream)
+        self._record(name, "stream", filename)
+        return self._root / filename
+
+    def load_stream(self, name: str) -> UpdateStream:
+        """Load a previously saved stream snapshot."""
+        meta = self._require(name, "stream")
+        return read_stream(self._root / meta["file"])
+
+    # ------------------------------------------------------------------ #
+    # Result documents
+    # ------------------------------------------------------------------ #
+    def save_result(self, name: str, payload: Dict) -> Path:
+        """Persist an arbitrary JSON-serialisable result document."""
+        filename = f"{name}.result.json"
+        (self._root / filename).write_text(
+            json.dumps(payload, indent=2, default=str), encoding="utf-8"
+        )
+        self._record(name, "result", filename)
+        return self._root / filename
+
+    def load_result(self, name: str) -> Dict:
+        """Load a previously saved result document."""
+        meta = self._require(name, "result")
+        return json.loads((self._root / meta["file"]).read_text(encoding="utf-8"))
+
+    def _require(self, name: str, kind: str) -> Dict[str, str]:
+        meta = self._manifest.get(name)
+        if meta is None or meta["kind"] != kind:
+            raise StorageError(f"no {kind} snapshot named {name!r} in {self._root}")
+        return meta

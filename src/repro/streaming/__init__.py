@@ -1,0 +1,52 @@
+"""Streaming substrate: timestamped updates, clocks, policies and metrics.
+
+The evaluation of the paper is entirely stream-driven: edges are replayed
+in timestamp order, the detector processes them under some batching policy,
+and two effectiveness metrics are reported —
+
+* the **latency** ``L(ΔG_τ)`` of Equation 4 (response time minus generation
+  time, summed over labelled fraudulent activities), and
+* the **prevention ratio** ``R``: the fraction of a fraudster's transactions
+  that arrive *after* the fraudster was first recognised and can therefore
+  be blocked.
+
+This subpackage provides the pieces shared by every experiment:
+
+* :mod:`repro.streaming.stream` — timestamped edges and update streams;
+* :mod:`repro.streaming.clock` — the simulated event-time clock that maps
+  measured compute times back into stream time;
+* :mod:`repro.streaming.policies` — the processing policies compared in the
+  paper (periodic static re-peel, per-edge incremental, fixed-size batches,
+  edge grouping);
+* :mod:`repro.streaming.metrics` — latency and prevention-ratio accounting;
+* :mod:`repro.streaming.replay` — the replay driver that feeds a stream to
+  a detector under a policy and collects the metrics.
+"""
+
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+from repro.streaming.clock import SimulatedClock
+from repro.streaming.metrics import LatencyTracker, PreventionTracker, StreamMetrics
+from repro.streaming.policies import (
+    BatchPolicy,
+    EdgeGroupingPolicy,
+    PerEdgePolicy,
+    PeriodicStaticPolicy,
+    ProcessingPolicy,
+)
+from repro.streaming.replay import ReplayReport, replay_stream
+
+__all__ = [
+    "TimestampedEdge",
+    "UpdateStream",
+    "SimulatedClock",
+    "LatencyTracker",
+    "PreventionTracker",
+    "StreamMetrics",
+    "ProcessingPolicy",
+    "PerEdgePolicy",
+    "BatchPolicy",
+    "EdgeGroupingPolicy",
+    "PeriodicStaticPolicy",
+    "ReplayReport",
+    "replay_stream",
+]

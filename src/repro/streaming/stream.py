@@ -1,0 +1,146 @@
+"""Timestamped edge updates and update streams (``ΔG_τ`` in the paper).
+
+Section 4.3 models the arriving transactions as an update stream
+``ΔG_τ = [(e_0, τ_0), ..., (e_n, τ_n)]`` with a timestamp per edge.  The
+:class:`TimestampedEdge` record additionally carries the raw transaction
+weight, an optional fraud label (the injected ground-truth community the
+edge belongs to) and the vertex priors, so the same object flows through
+workload generation, replay and metric computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.graph.delta import EdgeUpdate
+from repro.graph.graph import Vertex
+
+__all__ = ["TimestampedEdge", "UpdateStream"]
+
+
+@dataclass(frozen=True)
+class TimestampedEdge:
+    """One streamed transaction."""
+
+    src: Vertex
+    dst: Vertex
+    timestamp: float
+    weight: float = 1.0
+    #: Ground-truth fraud community identifier, or ``None`` for benign edges.
+    fraud_label: Optional[str] = None
+    src_prior: float = 0.0
+    dst_prior: float = 0.0
+
+    @property
+    def is_fraud(self) -> bool:
+        """Whether this transaction belongs to a labelled fraud community."""
+        return self.fraud_label is not None
+
+    def as_update(self) -> EdgeUpdate:
+        """Convert to the structural :class:`EdgeUpdate` consumed by Spade."""
+        return EdgeUpdate(
+            src=self.src,
+            dst=self.dst,
+            weight=self.weight,
+            src_weight=self.src_prior,
+            dst_weight=self.dst_prior,
+        )
+
+    def shifted(self, delta: float) -> "TimestampedEdge":
+        """Return a copy with the timestamp shifted by ``delta``."""
+        return replace(self, timestamp=self.timestamp + delta)
+
+
+class UpdateStream:
+    """An ordered sequence of :class:`TimestampedEdge`.
+
+    The stream enforces non-decreasing timestamps (the paper replays edges
+    in increasing timestamp order) and offers the slicing and batching
+    helpers the replay driver and the benchmarks need.
+    """
+
+    def __init__(self, edges: Iterable[TimestampedEdge], sort: bool = False) -> None:
+        items = list(edges)
+        if sort:
+            items.sort(key=lambda e: e.timestamp)
+        for earlier, later in zip(items, items[1:]):
+            if later.timestamp < earlier.timestamp:
+                raise StreamError(
+                    "update stream timestamps must be non-decreasing; "
+                    f"{later.timestamp} follows {earlier.timestamp}"
+                )
+        self._edges: List[TimestampedEdge] = items
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[TimestampedEdge]:
+        return iter(self._edges)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return UpdateStream(self._edges[index])
+        return self._edges[index]
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> Sequence[TimestampedEdge]:
+        """The underlying edge list (read-only by convention)."""
+        return self._edges
+
+    def span(self) -> Tuple[float, float]:
+        """Return ``(first_timestamp, last_timestamp)`` (0, 0 when empty)."""
+        if not self._edges:
+            return (0.0, 0.0)
+        return (self._edges[0].timestamp, self._edges[-1].timestamp)
+
+    def fraud_edges(self) -> List[TimestampedEdge]:
+        """Return only the labelled fraudulent transactions."""
+        return [e for e in self._edges if e.is_fraud]
+
+    def fraud_labels(self) -> List[str]:
+        """Return the distinct fraud community labels, in first-seen order."""
+        seen = []
+        known = set()
+        for edge in self._edges:
+            if edge.fraud_label is not None and edge.fraud_label not in known:
+                known.add(edge.fraud_label)
+                seen.append(edge.fraud_label)
+        return seen
+
+    def batches(self, size: int) -> Iterator[List[TimestampedEdge]]:
+        """Yield consecutive batches of ``size`` edges (last may be shorter)."""
+        if size <= 0:
+            raise ValueError(f"batch size must be positive, got {size}")
+        for start in range(0, len(self._edges), size):
+            yield self._edges[start : start + size]
+
+    def window(self, start: float, end: float) -> "UpdateStream":
+        """Return the sub-stream with ``start <= timestamp < end``."""
+        return UpdateStream([e for e in self._edges if start <= e.timestamp < end])
+
+    def merged_with(self, other: "UpdateStream") -> "UpdateStream":
+        """Merge two streams preserving timestamp order."""
+        return UpdateStream(list(self._edges) + list(other.edges), sort=True)
+
+    def as_timestamped_updates(self) -> List[Tuple[float, EdgeUpdate]]:
+        """Export as ``(timestamp, EdgeUpdate)`` pairs for the window detector."""
+        return [(e.timestamp, e.as_update()) for e in self._edges]
+
+    @classmethod
+    def from_tuples(cls, rows: Iterable[tuple]) -> "UpdateStream":
+        """Build a stream from ``(src, dst, timestamp[, weight])`` tuples."""
+        edges = []
+        for row in rows:
+            if len(row) == 3:
+                edges.append(TimestampedEdge(row[0], row[1], float(row[2])))
+            else:
+                edges.append(TimestampedEdge(row[0], row[1], float(row[2]), float(row[3])))
+        return cls(edges, sort=True)

@@ -1,0 +1,56 @@
+"""Synthetic workloads standing in for the paper's datasets.
+
+The paper evaluates on four proprietary Grab transaction graphs and three
+public snapshots (Table 3), none of which ship with this reproduction.  The
+generators in this subpackage produce streams with the same *shape*:
+
+* :mod:`repro.workloads.grab` — bipartite customer→merchant transaction
+  graphs with heavy-tailed activity/popularity, timestamps, and the paper's
+  90 % initial / 10 % increment split;
+* :mod:`repro.workloads.public` — unipartite power-law graphs parameterised
+  to the published |V| / |E| of Amazon, Wiki-Vote and Epinion;
+* :mod:`repro.workloads.fraud` — injection of the three fraud patterns of
+  the case studies (customer–merchant collusion, deal-hunter,
+  click-farming) with ground-truth labels;
+* :mod:`repro.workloads.datasets` — the named registry (``grab1`` ...
+  ``epinion``, plus ``*-small`` variants for tests) and the Table 3
+  statistics helper.
+"""
+
+from repro.workloads.datasets import (
+    DATASET_REGISTRY,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    generate_dataset,
+    table3_rows,
+)
+from repro.workloads.fraud import (
+    FraudCommunity,
+    FraudScenario,
+    inject_click_farming,
+    inject_collusion,
+    inject_deal_hunter,
+    inject_standard_patterns,
+)
+from repro.workloads.grab import GrabConfig, generate_grab_dataset
+from repro.workloads.public import PublicConfig, generate_public_dataset
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dataset",
+    "table3_rows",
+    "FraudCommunity",
+    "FraudScenario",
+    "inject_collusion",
+    "inject_deal_hunter",
+    "inject_click_farming",
+    "inject_standard_patterns",
+    "GrabConfig",
+    "generate_grab_dataset",
+    "PublicConfig",
+    "generate_public_dataset",
+]

@@ -1,0 +1,272 @@
+"""Fraud-pattern injection with ground-truth labels.
+
+The paper's case studies (Section 5.2, Figures 12/13) describe three fraud
+patterns observed at Grab, all of which "form a dense subgraph in a short
+period of time":
+
+* **customer–merchant collusion** — a small clique of colluding customers
+  and merchants trading back and forth to farm promotions;
+* **deal-hunter** — a group of users hammering a handful of merchants to
+  exploit promotions or pricing bugs;
+* **click-farming** — one merchant recruiting many fake accounts to create
+  false prosperity.
+
+Because the proprietary labels cannot be shipped, this module *injects*
+such patterns into a background stream: each pattern is a burst of
+transactions among dedicated fraud vertices within a short time span,
+labelled with a community id so that detection delay and prevention ratio
+can be computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.graph import Vertex
+from repro.streaming.stream import TimestampedEdge
+
+__all__ = [
+    "FraudCommunity",
+    "FraudScenario",
+    "inject_collusion",
+    "inject_deal_hunter",
+    "inject_click_farming",
+    "inject_standard_patterns",
+]
+
+#: Canonical pattern names used by labels, case studies and reports.
+PATTERN_COLLUSION = "customer-merchant-collusion"
+PATTERN_DEAL_HUNTER = "deal-hunter"
+PATTERN_CLICK_FARMING = "click-farming"
+
+
+@dataclass(frozen=True)
+class FraudCommunity:
+    """Ground truth for one injected fraud instance."""
+
+    label: str
+    pattern: str
+    members: FrozenSet[Vertex]
+    start_time: float
+    end_time: float
+    num_transactions: int
+
+    def duration(self) -> float:
+        """Return the injection burst duration in stream seconds."""
+        return self.end_time - self.start_time
+
+
+@dataclass
+class FraudScenario:
+    """A set of injected communities plus their transactions."""
+
+    edges: List[TimestampedEdge] = field(default_factory=list)
+    communities: List[FraudCommunity] = field(default_factory=list)
+
+    def community_map(self) -> Dict[str, FrozenSet[Vertex]]:
+        """Return ``label -> member vertices`` for the replay driver."""
+        return {c.label: c.members for c in self.communities}
+
+    def merge(self, other: "FraudScenario") -> "FraudScenario":
+        """Combine two scenarios (labels must not collide)."""
+        mine = {c.label for c in self.communities}
+        if mine & {c.label for c in other.communities}:
+            raise WorkloadError("fraud scenario labels collide")
+        return FraudScenario(
+            edges=self.edges + other.edges,
+            communities=self.communities + other.communities,
+        )
+
+
+def _burst_timestamps(rng: np.random.Generator, start: float, duration: float, count: int) -> np.ndarray:
+    """Return sorted timestamps of a burst of ``count`` transactions."""
+    if count <= 0:
+        raise WorkloadError("a fraud burst needs at least one transaction")
+    offsets = np.sort(rng.uniform(0.0, duration, size=count))
+    return start + offsets
+
+
+def _emit(
+    rng: np.random.Generator,
+    pairs: Sequence[Tuple[Vertex, Vertex]],
+    label: str,
+    start: float,
+    duration: float,
+    num_transactions: int,
+    weight_low: float,
+    weight_high: float,
+) -> List[TimestampedEdge]:
+    """Sample ``num_transactions`` labelled transactions over ``pairs``."""
+    timestamps = _burst_timestamps(rng, start, duration, num_transactions)
+    indices = rng.integers(0, len(pairs), size=num_transactions)
+    edges = []
+    for ts, idx in zip(timestamps, indices):
+        src, dst = pairs[int(idx)]
+        edges.append(
+            TimestampedEdge(
+                src=src,
+                dst=dst,
+                timestamp=float(ts),
+                weight=float(rng.uniform(weight_low, weight_high)),
+                fraud_label=label,
+            )
+        )
+    return edges
+
+
+def inject_collusion(
+    rng: np.random.Generator,
+    label: str,
+    start: float,
+    duration: float = 60.0,
+    num_customers: int = 10,
+    num_merchants: int = 6,
+    num_transactions: int = 480,
+    vertex_prefix: str = "fraud",
+) -> FraudScenario:
+    """Inject a customer–merchant collusion ring (Figure 12a).
+
+    A small set of fake customers and colluding merchants performs
+    fictitious transactions among *all* customer/merchant pairs, producing
+    a dense bipartite block.
+    """
+    customers = [f"{vertex_prefix}:{label}:c{i}" for i in range(num_customers)]
+    merchants = [f"{vertex_prefix}:{label}:m{j}" for j in range(num_merchants)]
+    pairs = [(c, m) for c in customers for m in merchants]
+    edges = _emit(rng, pairs, label, start, duration, num_transactions, 3.0, 8.0)
+    community = FraudCommunity(
+        label=label,
+        pattern=PATTERN_COLLUSION,
+        members=frozenset(customers + merchants),
+        start_time=start,
+        end_time=start + duration,
+        num_transactions=num_transactions,
+    )
+    return FraudScenario(edges=edges, communities=[community])
+
+
+def inject_deal_hunter(
+    rng: np.random.Generator,
+    label: str,
+    start: float,
+    duration: float = 90.0,
+    num_hunters: int = 20,
+    num_merchants: int = 8,
+    num_transactions: int = 640,
+    vertex_prefix: str = "fraud",
+) -> FraudScenario:
+    """Inject a deal-hunter group (Figure 12b): many users, few merchants."""
+    hunters = [f"{vertex_prefix}:{label}:h{i}" for i in range(num_hunters)]
+    merchants = [f"{vertex_prefix}:{label}:m{j}" for j in range(num_merchants)]
+    pairs = [(h, m) for h in hunters for m in merchants]
+    edges = _emit(rng, pairs, label, start, duration, num_transactions, 1.0, 4.0)
+    community = FraudCommunity(
+        label=label,
+        pattern=PATTERN_DEAL_HUNTER,
+        members=frozenset(hunters + merchants),
+        start_time=start,
+        end_time=start + duration,
+        num_transactions=num_transactions,
+    )
+    return FraudScenario(edges=edges, communities=[community])
+
+
+def inject_click_farming(
+    rng: np.random.Generator,
+    label: str,
+    start: float,
+    duration: float = 120.0,
+    num_fake_users: int = 35,
+    num_merchants: int = 4,
+    num_transactions: int = 700,
+    vertex_prefix: str = "fraud",
+) -> FraudScenario:
+    """Inject a click-farming ring (Figure 12c): merchants recruiting fakes.
+
+    A few merchants recruit a pool of fake accounts that place fictitious
+    orders; the resulting block is wide (many fakes) and shallow (few
+    merchants), with a high transaction volume per pair.
+    """
+    merchants = [f"{vertex_prefix}:{label}:shop{j}" for j in range(num_merchants)]
+    fakes = [f"{vertex_prefix}:{label}:u{i}" for i in range(num_fake_users)]
+    pairs = [(u, m) for u in fakes for m in merchants]
+    edges = _emit(rng, pairs, label, start, duration, num_transactions, 1.0, 3.5)
+    community = FraudCommunity(
+        label=label,
+        pattern=PATTERN_CLICK_FARMING,
+        members=frozenset(fakes + merchants),
+        start_time=start,
+        end_time=start + duration,
+        num_transactions=num_transactions,
+    )
+    return FraudScenario(edges=edges, communities=[community])
+
+
+def inject_standard_patterns(
+    rng: np.random.Generator,
+    stream_start: float,
+    stream_end: float,
+    instances_per_pattern: int = 1,
+    vertex_prefix: str = "fraud",
+    scale: float = 1.0,
+) -> FraudScenario:
+    """Inject one (or more) instance of each of the three paper patterns.
+
+    Bursts are spread uniformly over the stream span so that the prevention
+    ratio is meaningful (detection has room to happen before the burst
+    ends).  ``scale`` multiplies the per-burst transaction counts for larger
+    workloads.
+    """
+    if stream_end <= stream_start:
+        raise WorkloadError("stream span must be non-empty for fraud injection")
+    scenario = FraudScenario()
+    span = stream_end - stream_start
+    patterns = (
+        ("collusion", inject_collusion),
+        ("dealhunter", inject_deal_hunter),
+        ("clickfarm", inject_click_farming),
+    )
+    total = instances_per_pattern * len(patterns)
+    slot = span / max(total, 1)
+    index = 0
+    for copy in range(instances_per_pattern):
+        for short, injector in patterns:
+            start = stream_start + slot * index + 0.05 * slot
+            label = f"{short}-{copy}"
+            kwargs = {}
+            if scale != 1.0:
+                kwargs["num_transactions"] = max(30, int(round(_default_tx(injector) * scale)))
+            scenario = scenario.merge(
+                injector(
+                    rng,
+                    label=label,
+                    start=start,
+                    duration=min(0.6 * slot, _default_duration(injector)),
+                    vertex_prefix=vertex_prefix,
+                    **kwargs,
+                )
+            )
+            index += 1
+    return scenario
+
+
+def _default_tx(injector) -> int:
+    """Default transaction count of an injector (for scaling)."""
+    return {
+        inject_collusion: 480,
+        inject_deal_hunter: 640,
+        inject_click_farming: 700,
+    }[injector]
+
+
+def _default_duration(injector) -> float:
+    """Default burst duration of an injector."""
+    return {
+        inject_collusion: 60.0,
+        inject_deal_hunter: 90.0,
+        inject_click_farming: 120.0,
+    }[injector]

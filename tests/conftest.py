@@ -1,0 +1,90 @@
+"""Shared fixtures for the Spade reproduction test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.graph import DynamicGraph
+from repro.peeling.semantics import dg_semantics, dw_semantics, fraudar_semantics
+from repro.workloads.datasets import generate_dataset
+from repro.workloads.grab import GrabConfig, generate_grab_dataset
+
+from tests.helpers import random_weighted_edges
+
+
+@pytest.fixture
+def dg():
+    """DG (unweighted densest subgraph) semantics."""
+    return dg_semantics()
+
+
+@pytest.fixture
+def dw():
+    """DW (edge-weighted) semantics."""
+    return dw_semantics()
+
+
+@pytest.fixture
+def fd():
+    """FD (Fraudar) semantics."""
+    return fraudar_semantics()
+
+
+@pytest.fixture
+def triangle_graph() -> DynamicGraph:
+    """A triangle plus one pendant vertex: the community is the triangle."""
+    graph = DynamicGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    graph.add_edge("a", "c", 1.0)
+    graph.add_edge("d", "a", 0.25)
+    return graph
+
+
+@pytest.fixture
+def two_block_graph() -> DynamicGraph:
+    """Two cliques of different density joined by a weak bridge."""
+    graph = DynamicGraph()
+    heavy = ["h0", "h1", "h2", "h3"]
+    light = ["l0", "l1", "l2"]
+    for i, u in enumerate(heavy):
+        for v in heavy[i + 1 :]:
+            graph.add_edge(u, v, 3.0)
+    for i, u in enumerate(light):
+        for v in light[i + 1 :]:
+            graph.add_edge(u, v, 1.0)
+    graph.add_edge("h0", "l0", 0.5)
+    return graph
+
+
+@pytest.fixture
+def random_graph() -> DynamicGraph:
+    """A reproducible random weighted graph of moderate size."""
+    rng = random.Random(12345)
+    edges = random_weighted_edges(30, 90, rng)
+    graph = DynamicGraph()
+    for src, dst, weight in edges:
+        graph.add_edge(src, dst, weight)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def tiny_grab_dataset():
+    """A very small Grab-like dataset with injected fraud (session-cached)."""
+    config = GrabConfig(
+        name="conftest-grab",
+        num_customers=400,
+        num_merchants=60,
+        num_edges=2500,
+        fraud_instances_per_pattern=1,
+        seed=99,
+    )
+    return generate_grab_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def small_public_dataset():
+    """The registry's small Amazon-style dataset (session-cached)."""
+    return generate_dataset("amazon-small", seed=3)

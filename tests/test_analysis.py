@@ -1,0 +1,79 @@
+"""Tests for the analysis layer (community matching, case studies, enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.casestudy import run_case_study
+from repro.analysis.communities import best_match, match_communities
+from repro.analysis.enumeration import enumerate_over_time
+from repro.peeling.semantics import dw_semantics
+from repro.workloads.fraud import PATTERN_COLLUSION
+
+
+class TestCommunityMatch:
+    def test_metrics(self):
+        matches = match_communities({"a", "b", "c"}, {"x": {"b", "c", "d", "e"}})
+        match = matches["x"]
+        assert match.overlap == 2
+        assert match.precision == pytest.approx(2 / 3)
+        assert match.recall == pytest.approx(0.5)
+        assert match.f1 == pytest.approx(2 * (2 / 3) * 0.5 / ((2 / 3) + 0.5))
+        assert match.jaccard == pytest.approx(2 / 5)
+
+    def test_empty_sets(self):
+        match = match_communities(set(), {"x": set()})["x"]
+        assert match.precision == 0.0 and match.recall == 0.0 and match.f1 == 0.0
+
+    def test_best_match_picks_highest_f1(self):
+        truth = {"good": {"a", "b"}, "bad": {"z"}}
+        assert best_match({"a", "b"}, truth).label == "good"
+        assert best_match({"a"}, {}) is None
+
+
+class TestCaseStudy:
+    def test_collusion_case_study(self, tiny_grab_dataset):
+        label = next(
+            c.label for c in tiny_grab_dataset.fraud_communities if c.pattern == PATTERN_COLLUSION
+        )
+        study = run_case_study(tiny_grab_dataset, label, dw_semantics(), static_period=30.0)
+        assert study.pattern == PATTERN_COLLUSION
+        assert study.incremental_detection is not None
+        assert study.incremental_delay >= 0.0
+        # The real-time detector cannot be slower than the periodic baseline.
+        if study.static_detection is not None:
+            assert study.incremental_detection <= study.static_detection
+            assert study.preventable_transactions >= 0
+        row = study.as_row()
+        assert row["total tx"] == study.total_transactions
+
+    def test_unknown_label_rejected(self, tiny_grab_dataset):
+        with pytest.raises(StopIteration):
+            run_case_study(tiny_grab_dataset, "no-such-label", dw_semantics())
+
+
+class TestEnumerationTimeline:
+    def test_timeline_counts_each_instance_once(self, tiny_grab_dataset):
+        timeline = enumerate_over_time(
+            tiny_grab_dataset, dw_semantics(), num_spans=6, max_instances=4
+        )
+        assert len(timeline.spans) == 6
+        total_counted = sum(span.total_labelled() for span in timeline.spans)
+        assert total_counted <= len(tiny_grab_dataset.fraud_communities)
+        assert total_counted >= 1
+
+    def test_series_and_rows(self, tiny_grab_dataset):
+        timeline = enumerate_over_time(
+            tiny_grab_dataset, dw_semantics(), num_spans=5, max_instances=4
+        )
+        rows = timeline.as_rows()
+        assert len(rows) == 5
+        for pattern in timeline.patterns():
+            series = timeline.series(pattern)
+            assert len(series) == 5
+            normalised = timeline.normalised_series(pattern)
+            assert max(normalised) == pytest.approx(1.0)
+
+    def test_normalised_series_of_absent_pattern(self, tiny_grab_dataset):
+        timeline = enumerate_over_time(tiny_grab_dataset, dw_semantics(), num_spans=3)
+        assert timeline.normalised_series("unseen-pattern") == [0.0, 0.0, 0.0]

@@ -1,0 +1,121 @@
+"""Unit tests for batched insertion maintenance (Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import insert_batch, normalize_updates
+from repro.core.insertion import insert_edge
+from repro.core.state import PeelingState
+from repro.graph.delta import EdgeUpdate, GraphDelta
+
+from tests.helpers import assert_matches_static, build_state, random_weighted_edges
+
+
+class TestNormalizeUpdates:
+    def test_accepts_tuples(self):
+        updates = normalize_updates([("a", "b"), ("b", "c", 2.0)])
+        assert [u.edge for u in updates] == [("a", "b"), ("b", "c")]
+        assert updates[1].weight == 2.0
+
+    def test_accepts_edge_updates_and_delta(self):
+        delta = GraphDelta.from_edges([("a", "b", 1.0)])
+        assert [u.edge for u in normalize_updates(delta)] == [("a", "b")]
+        assert [u.edge for u in normalize_updates([EdgeUpdate("x", "y")])] == [("x", "y")]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            normalize_updates([("a",)])
+
+
+class TestBatchInsertion:
+    def test_empty_batch_is_a_noop(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        before = list(state.order)
+        stats = insert_batch(state, [])
+        assert list(state.order) == before
+        assert stats.affected_area == 0
+
+    def test_deletions_rejected(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        with pytest.raises(ValueError):
+            insert_batch(state, [EdgeUpdate("a", "b", delete=True)])
+
+    def test_batch_equivalent_to_static(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_batch(state, [("l0", "l2", 2.0), ("l1", "l0", 2.0), ("h0", "l1", 0.5)])
+        assert_matches_static(state)
+
+    def test_batch_with_new_vertices(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_batch(
+            state,
+            [
+                EdgeUpdate("n1", "n2", 3.0, src_weight=0.5),
+                EdgeUpdate("n2", "h0", 1.0),
+                EdgeUpdate("n3", "n1", 2.0),
+            ],
+        )
+        assert {"n1", "n2", "n3"} <= set(state.order)
+        assert state.graph.vertex_weight("n1") == 0.5
+        assert_matches_static(state)
+
+    def test_batch_equals_sequential_single_insertions(self):
+        rng = random.Random(21)
+        all_edges = random_weighted_edges(18, 60, rng)
+        initial, increments = all_edges[:-10], all_edges[-10:]
+
+        batch_state = build_state(initial)
+        insert_batch(batch_state, increments)
+
+        sequential_state = build_state(initial)
+        for src, dst, weight in increments:
+            insert_edge(sequential_state, src, dst, weight)
+
+        assert list(batch_state.order) == list(sequential_state.order)
+        assert batch_state.community().vertices == sequential_state.community().vertices
+
+    def test_batch_cheaper_than_sequential_on_overlapping_updates(self):
+        rng = random.Random(4)
+        all_edges = random_weighted_edges(60, 300, rng)
+        initial, increments = all_edges[:200], all_edges[200:]
+
+        sequential_state = build_state(initial)
+        sequential_cost = 0
+        for src, dst, weight in increments:
+            sequential_cost += insert_edge(sequential_state, src, dst, weight).affected_area
+
+        batch_state = build_state(initial)
+        batch_cost = insert_batch(batch_state, increments).affected_area
+
+        # Algorithm 2's whole point: one pass over the affected area instead
+        # of one pass per edge.
+        assert batch_cost < sequential_cost
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_batches_match_static(self, seed):
+        rng = random.Random(300 + seed)
+        n = rng.randint(8, 30)
+        all_edges = random_weighted_edges(n, rng.randint(10, 80), rng)
+        cut = rng.randint(1, max(1, len(all_edges) // 3))
+        state = build_state(all_edges[:-cut])
+        insert_batch(state, all_edges[-cut:])
+        assert_matches_static(state)
+
+    def test_large_single_batch_into_sparse_graph(self):
+        rng = random.Random(8)
+        all_edges = random_weighted_edges(50, 220, rng)
+        state = build_state(all_edges[:20])
+        insert_batch(state, all_edges[20:])
+        assert_matches_static(state)
+
+    def test_consecutive_batches(self):
+        rng = random.Random(15)
+        all_edges = random_weighted_edges(30, 150, rng)
+        state = build_state(all_edges[:60])
+        insert_batch(state, all_edges[60:100])
+        state.check_consistency()
+        insert_batch(state, all_edges[100:])
+        assert_matches_static(state)

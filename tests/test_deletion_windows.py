@@ -1,0 +1,158 @@
+"""Tests for edge deletion (Appendix C.1) and time-window detection (C.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.deletion import delete_edges, repeel_suffix, safe_prefix_bound
+from repro.core.state import PeelingState
+from repro.core.windows import TimeWindowDetector
+from repro.graph.delta import EdgeUpdate
+from repro.peeling.semantics import dw_semantics
+from repro.peeling.static import peel
+
+from tests.helpers import assert_matches_static, assert_valid_state, build_state, random_weighted_edges
+
+
+class TestDeletion:
+    def test_delete_single_edge_matches_static(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        delete_edges(state, [("h0", "h1")])
+        assert not state.graph.has_edge("h0", "h1")
+        assert_matches_static(state)
+
+    def test_delete_unknown_edge_is_ignored(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        before = list(state.order)
+        affected = delete_edges(state, [("nope", "nothere")])
+        assert affected == 0
+        assert list(state.order) == before
+
+    def test_delete_bridge_keeps_both_blocks_valid(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        delete_edges(state, [("h0", "l0")])
+        assert_matches_static(state)
+
+    def test_delete_many_edges(self):
+        rng = random.Random(13)
+        edges = random_weighted_edges(25, 90, rng)
+        state = build_state(edges)
+        doomed = [(src, dst) for src, dst, _w in edges[::7]]
+        delete_edges(state, doomed)
+        for src, dst in doomed:
+            assert not state.graph.has_edge(src, dst)
+        assert_matches_static(state)
+
+    def test_interleaved_insert_and_delete(self):
+        from repro.core.insertion import insert_edge
+
+        rng = random.Random(23)
+        edges = random_weighted_edges(20, 70, rng)
+        state = build_state(edges[:50])
+        for src, dst, weight in edges[50:60]:
+            insert_edge(state, src, dst, weight)
+        delete_edges(state, [(e[0], e[1]) for e in edges[10:20]])
+        for src, dst, weight in edges[60:]:
+            insert_edge(state, src, dst, weight)
+        assert_matches_static(state)
+
+    def test_safe_prefix_bound_never_exceeds_lightened_positions(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        position = state.position("h0")
+        bound = safe_prefix_bound(state, [("h0", 3.0)])
+        assert bound <= position
+
+    def test_safe_prefix_bound_empty(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        assert safe_prefix_bound(state, []) == len(state.order)
+
+    def test_repeel_suffix_full_range(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        count = repeel_suffix(state, 0)
+        assert count == len(state.order)
+        assert_valid_state(state)
+
+    def test_repeel_suffix_empty_range(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        assert repeel_suffix(state, len(state.order)) == 0
+
+    def test_total_updated_after_deletion(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        before = state.total
+        delete_edges(state, [("h0", "h1")])
+        assert state.total == pytest.approx(before - 3.0)
+        state.check_consistency()
+
+
+def _history(edges):
+    return [(ts, EdgeUpdate(src, dst, weight)) for src, dst, weight, ts in edges]
+
+
+class TestTimeWindow:
+    @pytest.fixture
+    def history(self):
+        rng = random.Random(31)
+        raw = random_weighted_edges(20, 80, rng)
+        # Unique (src, dst) pairs with increasing timestamps.
+        return _history([(src, dst, w, float(i)) for i, (src, dst, w) in enumerate(raw)])
+
+    def test_rejects_unsorted_history(self):
+        history = [(1.0, EdgeUpdate("a", "b")), (0.5, EdgeUpdate("b", "c"))]
+        with pytest.raises(ValueError):
+            TimeWindowDetector(history, dw_semantics())
+
+    def test_first_window_is_built_from_scratch(self, history, dw):
+        detector = TimeWindowDetector(history, dw)
+        shift = detector.set_window(0.0, 40.0)
+        assert shift.rebuilt and shift.case == 1
+        assert detector.window == (0.0, 40.0)
+        assert detector.detect().density > 0
+
+    def test_detect_before_window_raises(self, history, dw):
+        detector = TimeWindowDetector(history, dw)
+        with pytest.raises(RuntimeError):
+            detector.detect()
+
+    def test_empty_window_rejected(self, history, dw):
+        detector = TimeWindowDetector(history, dw)
+        with pytest.raises(ValueError):
+            detector.set_window(5.0, 5.0)
+
+    def test_disjoint_window_rebuilds(self, history, dw):
+        detector = TimeWindowDetector(history, dw)
+        detector.set_window(0.0, 20.0)
+        shift = detector.set_window(50.0, 70.0)
+        assert shift.rebuilt
+
+    @pytest.mark.parametrize(
+        "first,second,case",
+        [
+            ((10.0, 40.0), (0.0, 60.0), 2),   # new window contains the old
+            ((0.0, 60.0), (10.0, 40.0), 3),   # old window contains the new
+            ((20.0, 60.0), (10.0, 50.0), 4),  # slide left
+            ((10.0, 50.0), (20.0, 70.0), 5),  # slide right
+        ],
+    )
+    def test_overlapping_windows_use_incremental_maintenance(self, history, dw, first, second, case):
+        detector = TimeWindowDetector(history, dw)
+        detector.set_window(*first)
+        shift = detector.set_window(*second)
+        assert not shift.rebuilt
+        assert shift.case == case
+
+        # The community must match peeling the window's edges from scratch
+        # (ignoring isolated leftover vertices, which cannot join a community).
+        window_updates = [u for t, u in history if second[0] <= t < second[1]]
+        reference_graph = dw.materialize([(u.src, u.dst, u.weight) for u in window_updates])
+        reference = peel(reference_graph, "DW")
+        assert detector.detect().vertices == reference.community
+
+    def test_repeated_sliding_stays_consistent(self, history, dw):
+        detector = TimeWindowDetector(history, dw)
+        detector.set_window(0.0, 30.0)
+        for start in range(0, 50, 10):
+            detector.set_window(float(start), float(start + 30))
+            state = detector.state
+            state.check_consistency()

@@ -1,0 +1,146 @@
+"""Unit tests for graph deltas, induced-subgraph views and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.delta import EdgeUpdate, GraphDelta, apply_delta
+from repro.graph.graph import DynamicGraph
+from repro.graph.stats import compute_stats, degree_distribution
+from repro.graph.views import induced_subgraph
+
+
+class TestEdgeUpdate:
+    def test_edge_property(self):
+        update = EdgeUpdate("a", "b", 2.0)
+        assert update.edge == ("a", "b")
+        assert not update.delete
+
+    def test_reversed(self):
+        update = EdgeUpdate("a", "b", 2.0, src_weight=1.0, dst_weight=0.5)
+        rev = update.reversed()
+        assert rev.src == "b" and rev.dst == "a"
+        assert rev.src_weight == 0.5 and rev.dst_weight == 1.0
+
+
+class TestGraphDelta:
+    def test_add_and_iterate(self):
+        delta = GraphDelta()
+        delta.add_edge("a", "b")
+        delta.add(EdgeUpdate("b", "c", 2.0))
+        assert len(delta) == 2
+        assert [u.edge for u in delta] == [("a", "b"), ("b", "c")]
+
+    def test_insertions_and_deletions_split(self):
+        delta = GraphDelta()
+        delta.add_edge("a", "b")
+        delta.add(EdgeUpdate("b", "c", delete=True))
+        assert [u.edge for u in delta.insertions()] == [("a", "b")]
+        assert [u.edge for u in delta.deletions()] == [("b", "c")]
+
+    def test_touched_vertices_order_and_dedup(self):
+        delta = GraphDelta()
+        delta.add_vertex("x", 1.0)
+        delta.add_edge("a", "b")
+        delta.add_edge("b", "x")
+        assert delta.touched_vertices() == ["x", "a", "b"]
+
+    def test_from_edges(self):
+        delta = GraphDelta.from_edges([("a", "b"), ("b", "c", 2.0)])
+        assert len(delta) == 2
+        assert delta.updates[1].weight == 2.0
+
+    def test_apply_delta_inserts(self):
+        graph = DynamicGraph.from_edges([("a", "b", 1.0)])
+        delta = GraphDelta.from_edges([("b", "c", 2.0)])
+        delta.add_vertex("iso", 0.5)
+        apply_delta(graph, delta)
+        assert graph.has_edge("b", "c")
+        assert graph.vertex_weight("iso") == 0.5
+
+    def test_apply_delta_deletes(self):
+        graph = DynamicGraph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+        delta = GraphDelta(updates=[EdgeUpdate("a", "b", delete=True)])
+        apply_delta(graph, delta)
+        assert not graph.has_edge("a", "b")
+        assert graph.has_edge("b", "c")
+
+    def test_apply_delta_carries_vertex_priors(self):
+        graph = DynamicGraph()
+        delta = GraphDelta(updates=[EdgeUpdate("a", "b", 1.0, src_weight=2.0)])
+        apply_delta(graph, delta)
+        assert graph.vertex_weight("a") == 2.0
+
+
+class TestInducedSubgraph:
+    @pytest.fixture
+    def graph(self) -> DynamicGraph:
+        graph = DynamicGraph()
+        graph.add_vertex("a", 1.0)
+        graph.add_edge("a", "b", 2.0)
+        graph.add_edge("b", "c", 3.0)
+        graph.add_edge("c", "d", 4.0)
+        return graph
+
+    def test_edges_restricted_to_subset(self, graph):
+        view = induced_subgraph(graph, {"a", "b", "c"})
+        assert sorted(e[:2] for e in view.edges()) == [("a", "b"), ("b", "c")]
+        assert view.num_edges() == 2
+
+    def test_density_matches_equation_1(self, graph):
+        view = induced_subgraph(graph, {"a", "b"})
+        # f(S) = a_a + c_ab = 1 + 2 ; |S| = 2
+        assert view.total_suspiciousness() == pytest.approx(3.0)
+        assert view.density() == pytest.approx(1.5)
+
+    def test_empty_subset_density_zero(self, graph):
+        view = induced_subgraph(graph, set())
+        assert view.density() == 0.0
+
+    def test_materialize(self, graph):
+        sub = induced_subgraph(graph, {"b", "c"}).materialize()
+        assert sub.num_vertices() == 2
+        assert sub.has_edge("b", "c")
+        assert not sub.has_edge("a", "b")
+
+    def test_view_reflects_parent_mutation(self, graph):
+        view = induced_subgraph(graph, {"a", "b"})
+        before = view.total_edge_weight()
+        graph.add_edge("a", "b", 1.0)
+        assert view.total_edge_weight() == pytest.approx(before + 1.0)
+
+
+class TestStats:
+    def test_compute_stats_counts(self, random_graph):
+        stats = compute_stats(random_graph)
+        assert stats.num_vertices == random_graph.num_vertices()
+        assert stats.num_edges == random_graph.num_edges()
+        assert stats.avg_degree == pytest.approx(
+            2 * stats.num_edges / stats.num_vertices
+        )
+        assert stats.max_degree >= 1
+        row = stats.as_row()
+        assert row["|V|"] == stats.num_vertices
+
+    def test_empty_graph_stats(self):
+        stats = compute_stats(DynamicGraph())
+        assert stats.num_vertices == 0
+        assert stats.avg_degree == 0.0
+
+    def test_degree_distribution_sums_to_vertex_count(self, random_graph):
+        dist = degree_distribution(random_graph)
+        assert sum(dist.frequencies) == random_graph.num_vertices()
+        assert list(dist.degrees) == sorted(dist.degrees)
+
+    def test_degree_distribution_tail_mass(self):
+        graph = DynamicGraph()
+        for i in range(10):
+            graph.add_edge(f"leaf{i}", "hub", 1.0)
+        dist = degree_distribution(graph)
+        assert dist.tail_mass(10) == pytest.approx(1 / 11)
+        assert dist.tail_mass(1) == 1.0
+
+    def test_power_law_exponent_negative_for_star_heavy_graph(self, tiny_grab_dataset, dw):
+        graph = tiny_grab_dataset.initial_graph(dw)
+        dist = degree_distribution(graph)
+        assert dist.power_law_exponent() < -0.5

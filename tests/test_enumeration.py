@@ -1,0 +1,98 @@
+"""Tests for dense-subgraph enumeration (Appendix C.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import enumerate_communities, split_instances
+from repro.core.state import PeelingState
+from repro.graph.graph import DynamicGraph
+from repro.peeling.semantics import dw_semantics
+
+
+@pytest.fixture
+def three_blocks(dw):
+    """Three disjoint cliques of decreasing density plus background noise."""
+    graph = DynamicGraph()
+    blocks = {
+        "A": (4, 6.0),
+        "B": (4, 3.0),
+        "C": (3, 1.5),
+    }
+    for name, (size, weight) in blocks.items():
+        members = [f"{name}{i}" for i in range(size)]
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v, weight)
+    graph.add_edge("A0", "B0", 0.25)
+    graph.add_edge("B1", "C0", 0.25)
+    graph.add_edge("noise1", "noise2", 0.1)
+    return graph
+
+
+class TestEnumerate:
+    def test_instances_come_out_in_density_order(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=5, min_density=0.2)
+        assert len(instances) >= 2
+        densities = [inst.density for inst in instances]
+        assert densities == sorted(densities, reverse=True)
+        assert {"A0", "A1", "A2", "A3"} <= set(instances[0].vertices)
+
+    def test_second_instance_is_second_block(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=5, min_density=0.2)
+        assert {"B0", "B1", "B2", "B3"} <= set(instances[1].vertices)
+
+    def test_max_instances_respected(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=1)
+        assert len(instances) == 1
+
+    def test_min_density_cutoff(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=10, min_density=5.0)
+        assert len(instances) == 1
+
+    def test_min_size_cutoff(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=10, min_size=3, min_density=0.0)
+        assert all(len(inst) >= 3 for inst in instances)
+
+    def test_accepts_peeling_state(self, three_blocks, dw):
+        state = PeelingState(three_blocks, dw)
+        instances = enumerate_communities(state, max_instances=3, min_density=0.2)
+        assert instances[0].vertices == state.community().vertices
+
+    def test_instances_are_disjoint(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=5, min_density=0.1)
+        seen = set()
+        for instance in instances:
+            assert not (seen & instance.vertices)
+            seen |= instance.vertices
+
+    def test_ranks_are_sequential(self, three_blocks):
+        instances = enumerate_communities(three_blocks, max_instances=5, min_density=0.1)
+        assert [inst.rank for inst in instances] == list(range(len(instances)))
+
+    def test_empty_graph(self):
+        assert enumerate_communities(DynamicGraph()) == []
+
+
+class TestSplitInstances:
+    def test_split_connected_components(self, three_blocks):
+        community = frozenset({"A0", "A1", "A2", "A3", "C0", "C1", "C2"})
+        parts = split_instances(three_blocks, community)
+        assert len(parts) == 2
+        assert frozenset({"A0", "A1", "A2", "A3"}) in parts
+
+    def test_split_single_component(self, three_blocks):
+        parts = split_instances(three_blocks, frozenset({"A0", "A1"}))
+        assert parts == [frozenset({"A0", "A1"})]
+
+    def test_split_isolated_vertices(self, three_blocks):
+        parts = split_instances(three_blocks, frozenset({"A0", "noise1"}))
+        assert len(parts) == 2
+
+    def test_split_empty(self, three_blocks):
+        assert split_instances(three_blocks, frozenset()) == []
+
+    def test_split_sorted_by_size(self, three_blocks):
+        community = frozenset({"A0", "A1", "A2", "C0", "C1"})
+        parts = split_instances(three_blocks, community)
+        assert len(parts[0]) >= len(parts[-1])

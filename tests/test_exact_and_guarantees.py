@@ -1,0 +1,126 @@
+"""Tests for the exact solvers and the guarantee / axiom checks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.graph import DynamicGraph
+from repro.peeling.exact import brute_force_densest, goldberg_densest
+from repro.peeling.guarantees import (
+    check_approximation_guarantee,
+    is_valid_peeling_sequence,
+    verify_axioms,
+)
+from repro.peeling.semantics import dw_semantics, subset_density
+from repro.peeling.static import peel
+
+from tests.helpers import random_weighted_edges
+
+
+class TestBruteForce:
+    def test_triangle_is_optimal(self, triangle_graph):
+        result = brute_force_densest(triangle_graph)
+        assert result.subset == frozenset({"a", "b", "c"})
+        assert result.density == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        result = brute_force_densest(DynamicGraph())
+        assert result.subset == frozenset()
+        assert result.density == 0.0
+
+    def test_limit_enforced(self):
+        graph = DynamicGraph(vertices=[f"v{i}" for i in range(25)])
+        with pytest.raises(ReproError):
+            brute_force_densest(graph)
+
+    def test_vertex_weights_matter(self):
+        graph = DynamicGraph()
+        graph.add_vertex("heavy", 10.0)
+        graph.add_edge("a", "b", 1.0)
+        result = brute_force_densest(graph)
+        assert result.subset == frozenset({"heavy"})
+        assert result.density == pytest.approx(10.0)
+
+
+class TestGoldberg:
+    def test_matches_brute_force_on_small_graphs(self):
+        rng = random.Random(11)
+        for _ in range(6):
+            edges = random_weighted_edges(9, 18, rng)
+            graph = dw_semantics().materialize(edges)
+            exact = brute_force_densest(graph)
+            flow = goldberg_densest(graph)
+            assert flow.density == pytest.approx(exact.density, rel=1e-4, abs=1e-4)
+
+    def test_flow_result_is_a_real_subset(self, two_block_graph):
+        result = goldberg_densest(two_block_graph)
+        assert result.subset <= set(two_block_graph.vertices())
+        assert subset_density(two_block_graph, result.subset) == pytest.approx(
+            result.density, rel=1e-6
+        )
+
+    def test_two_block_graph_optimum_is_heavy_clique(self, two_block_graph):
+        result = goldberg_densest(two_block_graph)
+        assert result.subset == frozenset({"h0", "h1", "h2", "h3"})
+
+
+class TestApproximationGuarantee:
+    def test_guarantee_holds_on_random_graphs(self):
+        rng = random.Random(2)
+        for _ in range(8):
+            edges = random_weighted_edges(10, 25, rng)
+            graph = dw_semantics().materialize(edges)
+            result = peel(graph, "DW")
+            assert check_approximation_guarantee(graph, result, exact="brute")
+
+    def test_guarantee_with_flow_solver(self, two_block_graph):
+        result = peel(two_block_graph, "DW")
+        assert check_approximation_guarantee(two_block_graph, result, exact="flow")
+
+    def test_unknown_solver_rejected(self, triangle_graph):
+        result = peel(triangle_graph)
+        with pytest.raises(ValueError):
+            check_approximation_guarantee(triangle_graph, result, exact="magic")
+
+    def test_empty_graph_trivially_satisfies(self):
+        result = peel(DynamicGraph())
+        assert check_approximation_guarantee(DynamicGraph(), result)
+
+
+class TestSequenceValidation:
+    def test_valid_sequence_accepted(self, random_graph):
+        result = peel(random_graph)
+        assert is_valid_peeling_sequence(random_graph, result.order, result.weights)
+
+    def test_wrong_cover_rejected(self, triangle_graph):
+        check = is_valid_peeling_sequence(triangle_graph, ["a", "b", "c"])
+        assert not check
+        assert "cover" in check.message
+
+    def test_non_greedy_order_rejected(self, triangle_graph):
+        # Peeling "a" (weight 2.25) before "d" (weight 0.25) is not greedy.
+        check = is_valid_peeling_sequence(triangle_graph, ["a", "b", "c", "d"])
+        assert not check
+        assert check.failing_position == 0
+
+    def test_wrong_recorded_weights_rejected(self, triangle_graph):
+        result = peel(triangle_graph)
+        bad_weights = [w + 1.0 for w in result.weights]
+        check = is_valid_peeling_sequence(triangle_graph, result.order, bad_weights)
+        assert not check
+
+
+class TestAxioms:
+    def test_axioms_hold_for_weighted_graph(self, random_graph):
+        assert verify_axioms(random_graph, samples=10, seed=1)
+
+    def test_axioms_hold_for_dataset_graph(self, tiny_grab_dataset, dw):
+        graph = tiny_grab_dataset.initial_graph(dw)
+        assert verify_axioms(graph, samples=5, seed=2)
+
+    def test_axioms_trivial_for_tiny_graph(self):
+        graph = DynamicGraph(vertices=["a", "b"])
+        assert verify_axioms(graph)

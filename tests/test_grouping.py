@@ -1,0 +1,139 @@
+"""Unit tests for edge grouping (benign vs urgent, Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grouping import EdgeGrouper, is_benign
+from repro.core.state import PeelingState
+from repro.graph.delta import EdgeUpdate
+from repro.peeling.semantics import subset_density
+
+from tests.helpers import assert_matches_static
+
+
+class TestIsBenign:
+    def test_light_edge_between_light_vertices_is_benign(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        # l1 and l2 have tiny full-set weights; the community density is 9.
+        assert is_benign(state, "l1", "l2", 0.1)
+
+    def test_heavy_edge_is_urgent(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        density = state.community().density
+        assert not is_benign(state, "l1", "l2", density + 1.0)
+
+    def test_edge_touching_community_member_is_urgent(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        # h0 is in the dense community and already carries weight >= g(S_P).
+        assert not is_benign(state, "h0", "l2", 0.1)
+
+    def test_unknown_endpoints_use_zero_base_weight(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        assert is_benign(state, "stranger1", "stranger2", 0.1)
+
+    def test_explicit_density_override(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        assert not is_benign(state, "l1", "l2", 0.1, community_density=0.05)
+
+
+class TestBenignEdgeLemmas:
+    def test_lemma_4_4_benign_edge_does_not_create_denser_community(self, two_block_graph, dw):
+        """Lemma 4.4: after a benign insertion, either the endpoints stay out
+        of the community or the community density dropped."""
+        state = PeelingState(two_block_graph, dw)
+        density_before = state.community().density
+        edge_weight = 0.1
+        assert is_benign(state, "l1", "l2", edge_weight)
+
+        from repro.core.insertion import insert_edge
+
+        insert_edge(state, "l1", "l2", edge_weight)
+        community = state.community()
+        endpoints_out = "l1" not in community.vertices and "l2" not in community.vertices
+        assert endpoints_out or community.density < density_before
+
+    def test_urgent_edge_can_change_the_community(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        from repro.core.insertion import insert_edge
+
+        for _ in range(5):
+            insert_edge(state, "l0", "l1", 20.0)
+        assert "l0" in state.community().vertices
+
+
+class TestEdgeGrouper:
+    def test_benign_edges_are_buffered(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        result = grouper.offer(EdgeUpdate("l2", "l0", 0.1))
+        assert result.flushed_edges == 0
+        assert grouper.pending() == 1
+        assert not state.graph.has_edge("l2", "l0")
+
+    def test_urgent_edge_flushes_whole_buffer(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        grouper.offer(EdgeUpdate("l2", "l0", 0.1))
+        result = grouper.offer(EdgeUpdate("h0", "h2", 5.0))
+        assert result.flushed_edges == 2
+        assert result.urgent_trigger
+        assert grouper.pending() == 0
+        assert state.graph.has_edge("l2", "l0")
+        assert state.graph.has_edge("h0", "h2")
+        assert_matches_static(state)
+
+    def test_max_buffer_forces_flush(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state, max_buffer=3)
+        grouper.offer(EdgeUpdate("l0", "l1", 0.05))
+        grouper.offer(EdgeUpdate("l1", "l2", 0.05))
+        result = grouper.offer(EdgeUpdate("l2", "l0", 0.05))
+        assert result.flushed_edges == 3
+        assert not result.urgent_trigger
+
+    def test_max_delay_forces_flush(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state, max_delay=10.0)
+        grouper.offer(EdgeUpdate("l0", "l1", 0.05), timestamp=0.0)
+        result = grouper.offer(EdgeUpdate("l1", "l2", 0.05), timestamp=11.0)
+        assert result.flushed_edges == 2
+
+    def test_manual_flush(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        grouper.offer(EdgeUpdate("l0", "l2", 0.05))
+        result = grouper.flush()
+        assert result.flushed_edges == 1
+        assert grouper.flush().flushed_edges == 0
+
+    def test_counters(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        grouper.offer(EdgeUpdate("l0", "l2", 0.05))
+        grouper.offer(EdgeUpdate("h0", "h1", 5.0))
+        assert grouper.total_buffered == 2
+        assert grouper.total_flushes == 1
+        assert grouper.urgent_flushes == 1
+
+    def test_deferred_edges_do_not_change_detection(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        before = state.community().vertices
+        grouper.offer(EdgeUpdate("l0", "l1", 0.05))
+        assert state.community().vertices == before
+
+    def test_state_matches_static_after_mixed_traffic(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        grouper = EdgeGrouper(state)
+        updates = [
+            EdgeUpdate("l0", "l1", 0.25),
+            EdgeUpdate("l1", "l2", 0.25),
+            EdgeUpdate("h0", "h1", 4.0),
+            EdgeUpdate("l2", "l0", 0.25),
+            EdgeUpdate("h2", "h3", 4.0),
+        ]
+        for update in updates:
+            grouper.offer(update)
+        grouper.flush()
+        assert_matches_static(state)

@@ -1,0 +1,147 @@
+"""Unit tests for single-edge insertion maintenance (Section 4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.insertion import insert_edge
+from repro.core.state import PeelingState
+from repro.peeling.semantics import dw_semantics, fraudar_semantics
+from repro.peeling.static import peel
+
+from tests.helpers import (
+    assert_matches_static,
+    assert_valid_state,
+    build_state,
+    dyadic_weight,
+    random_weighted_edges,
+)
+
+
+class TestBasicInsertion:
+    def test_insert_between_existing_vertices(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "l0", "l1", 0.5)
+        assert state.graph.has_edge("l0", "l1")
+        assert_matches_static(state)
+
+    def test_insert_edge_creating_new_vertex(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "newcomer", "h0", 1.0)
+        assert "newcomer" in state
+        assert_matches_static(state)
+
+    def test_insert_edge_creating_two_new_vertices(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "x1", "x2", 2.0)
+        assert "x1" in state and "x2" in state
+        assert_matches_static(state)
+
+    def test_new_vertex_priors_are_applied(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "vip", "h0", 1.0, src_prior=3.0)
+        assert state.graph.vertex_weight("vip") == 3.0
+        assert_valid_state(state)
+
+    def test_prefix_before_seed_is_untouched(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        order_before = list(state.order)
+        src, dst = "h1", "h3"
+        seed_position = min(state.position(src), state.position(dst))
+        insert_edge(state, src, dst, 0.25)
+        assert list(state.order[:seed_position]) == order_before[:seed_position]
+
+    def test_total_suspiciousness_tracks_graph(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "h0", "l2", 1.5)
+        assert state.total == pytest.approx(state.graph.total_suspiciousness())
+
+    def test_stats_report_affected_area(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        stats = insert_edge(state, "l0", "l2", 0.25)
+        assert stats.queued_vertices >= 1
+        assert stats.affected_area > 0
+        assert stats.islands >= 1
+
+    def test_duplicate_edge_insertion_accumulates(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        insert_edge(state, "h0", "h1", 1.0)
+        insert_edge(state, "h0", "h1", 1.0)
+        assert state.graph.edge_weight("h0", "h1") == pytest.approx(5.0)
+        assert_matches_static(state)
+
+    def test_community_can_grow_after_insertions(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        # Densify the light clique until it overtakes the heavy one.
+        for _ in range(8):
+            insert_edge(state, "l0", "l1", 4.0)
+            insert_edge(state, "l1", "l2", 4.0)
+            insert_edge(state, "l0", "l2", 4.0)
+        community = state.community()
+        assert {"l0", "l1", "l2"} <= set(community.vertices)
+        assert_matches_static(state)
+
+
+class TestFraudarInsertion:
+    def test_fd_edge_weight_assigned_at_insertion_time(self, fd):
+        graph = fd.materialize([("a", "hub", 1.0), ("b", "hub", 1.0)])
+        state = PeelingState(graph, fd)
+        insert_edge(state, "c", "hub", 1.0)
+        # The new edge sees the hub's degree at insertion time (2 + itself via
+        # vertex creation ordering), so its weight differs from the original two.
+        assert state.graph.has_edge("c", "hub")
+        assert_valid_state(state)
+
+    def test_fd_sequence_stays_valid_over_many_insertions(self, fd):
+        rng = random.Random(3)
+        edges = random_weighted_edges(20, 60, rng)
+        graph = fd.materialize(edges)
+        state = PeelingState(graph, fd)
+        for _ in range(30):
+            src, dst = rng.randrange(25), rng.randrange(25)
+            if src == dst:
+                continue
+            insert_edge(state, src, dst, 1.0)
+        assert_valid_state(state)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequence_identical_to_static_with_exact_weights(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 28)
+        m = rng.randint(5, min(n * (n - 1) // 2, 70))
+        all_edges = random_weighted_edges(n, m, rng)
+        cut = rng.randint(1, min(8, len(all_edges) - 1))
+        state = build_state(all_edges[:-cut])
+        for src, dst, weight in all_edges[-cut:]:
+            insert_edge(state, src, dst, weight)
+        assert_matches_static(state, exact=True)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_sequence_with_continuous_weights(self, seed):
+        rng = random.Random(100 + seed)
+        all_edges = random_weighted_edges(20, 60, rng, dyadic=False)
+        state = build_state(all_edges[:-5])
+        for src, dst, weight in all_edges[-5:]:
+            insert_edge(state, src, dst, weight)
+        assert_matches_static(state, exact=False)
+
+    def test_long_insertion_run_stays_consistent(self):
+        rng = random.Random(77)
+        all_edges = random_weighted_edges(40, 200, rng)
+        state = build_state(all_edges[:100])
+        for src, dst, weight in all_edges[100:]:
+            insert_edge(state, src, dst, weight)
+            state.check_consistency()
+        assert_matches_static(state)
+
+    def test_insertion_into_empty_initial_graph(self, dw):
+        graph = dw.materialize([])
+        state = PeelingState(graph, dw)
+        rng = random.Random(9)
+        for src, dst, weight in random_weighted_edges(10, 20, rng):
+            insert_edge(state, src, dst, weight)
+        assert_matches_static(state)

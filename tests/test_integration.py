@@ -1,0 +1,101 @@
+"""End-to-end integration tests on generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Spade, dw_semantics, fraudar_semantics
+from repro.analysis.communities import best_match
+from repro.streaming.policies import BatchPolicy, EdgeGroupingPolicy, PerEdgePolicy
+from repro.streaming.replay import replay_stream
+
+from tests.helpers import assert_valid_state
+
+
+class TestGrabEndToEnd:
+    def test_full_replay_keeps_state_equivalent_to_static(self, tiny_grab_dataset, dw):
+        spade = Spade(dw)
+        spade.load_graph(tiny_grab_dataset.initial_graph(dw))
+        replay_stream(spade, tiny_grab_dataset.increments[:400], BatchPolicy(40))
+        assert_valid_state(spade.state)
+        spade.state.check_consistency()
+
+    def test_injected_collusion_is_eventually_the_densest_community(self, tiny_grab_dataset, dw):
+        spade = Spade(dw)
+        spade.load_graph(tiny_grab_dataset.initial_graph(dw))
+        spade.insert_batch_edges([e.as_update() for e in tiny_grab_dataset.increments])
+        truth = tiny_grab_dataset.fraud_community_map()
+        match = best_match(spade.detect().vertices, truth)
+        assert match is not None and match.f1 > 0.8
+
+    def test_enumeration_recovers_multiple_injected_instances(self, tiny_grab_dataset, dw):
+        spade = Spade(dw)
+        spade.load_graph(tiny_grab_dataset.initial_graph(dw))
+        spade.insert_batch_edges([e.as_update() for e in tiny_grab_dataset.increments])
+        truth = tiny_grab_dataset.fraud_community_map()
+        recovered = set()
+        for instance in spade.enumerate_frauds(max_instances=6, min_density=1.0):
+            match = best_match(instance.vertices, truth)
+            if match is not None and match.f1 > 0.6:
+                recovered.add(match.label)
+        assert len(recovered) >= 2
+
+    def test_grouping_policy_detects_fraud_earlier_than_large_batches(self, tiny_grab_dataset, dw):
+        truth = tiny_grab_dataset.fraud_community_map()
+
+        def detection_times(policy):
+            spade = Spade(dw)
+            spade.load_graph(tiny_grab_dataset.initial_graph(dw))
+            report = replay_stream(
+                spade,
+                tiny_grab_dataset.increments,
+                policy,
+                fraud_communities=truth,
+                ban_detected=True,
+            )
+            return report.detection_times, report.metrics.prevention_ratio
+
+    # The grouping policy responds to urgent edges immediately, so its
+    # prevention ratio must dominate the one of a very large fixed batch.
+        grouped_times, grouped_ratio = detection_times(EdgeGroupingPolicy())
+        batched_times, batched_ratio = detection_times(BatchPolicy(2000))
+        assert grouped_ratio >= batched_ratio
+        assert grouped_times, "grouping must detect at least one injected community"
+
+    def test_fraudar_semantics_on_public_dataset(self, small_public_dataset):
+        fd = fraudar_semantics()
+        spade = Spade(fd)
+        spade.load_graph(small_public_dataset.initial_graph(fd))
+        report = replay_stream(spade, small_public_dataset.increments[:150], PerEdgePolicy())
+        assert report.metrics.edges == min(150, len(small_public_dataset.increments))
+        assert_valid_state(spade.state)
+
+    def test_per_edge_and_batch_replay_reach_identical_graphs(self, small_public_dataset, dw):
+        stream = small_public_dataset.increments[:120]
+
+        spade_a = Spade(dw)
+        spade_a.load_graph(small_public_dataset.initial_graph(dw))
+        replay_stream(spade_a, stream, PerEdgePolicy())
+
+        spade_b = Spade(dw)
+        spade_b.load_graph(small_public_dataset.initial_graph(dw))
+        replay_stream(spade_b, stream, BatchPolicy(30))
+
+        assert spade_a.graph == spade_b.graph
+        assert spade_a.detect().vertices == spade_b.detect().vertices
+
+    def test_incremental_is_much_faster_than_static_repeel(self, tiny_grab_dataset, dw):
+        import time
+
+        from repro.peeling.static import peel
+
+        graph = tiny_grab_dataset.initial_graph(dw)
+        began = time.perf_counter()
+        peel(graph, "DW")
+        static_seconds = time.perf_counter() - began
+
+        spade = Spade(dw)
+        spade.load_graph(tiny_grab_dataset.initial_graph(dw))
+        report = replay_stream(spade, tiny_grab_dataset.increments[:200], PerEdgePolicy())
+        per_edge = report.metrics.mean_elapsed_per_edge
+        assert per_edge < static_seconds

@@ -1,0 +1,196 @@
+"""Tests for the Grab pipeline simulation (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.peeling.semantics import dw_semantics
+from repro.pipeline.builder import GraphBuilder
+from repro.pipeline.detector import PeriodicStaticDetector, RealTimeSpadeDetector
+from repro.pipeline.moderator import Moderator
+from repro.pipeline.pipeline import FraudDetectionPipeline
+from repro.pipeline.transaction_log import TransactionLog, TransactionRecord
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+
+def make_log(records) -> TransactionLog:
+    return TransactionLog(
+        TransactionRecord(f"tx{i}", c, m, amount, float(ts), fraud_label=label)
+        for i, (c, m, amount, ts, label) in enumerate(records)
+    )
+
+
+@pytest.fixture
+def initial_log():
+    rows = []
+    ts = 0
+    for i in range(30):
+        rows.append((f"user{i % 10}", f"shop{i % 4}", 2.0, ts, None))
+        ts += 1
+    return make_log(rows)
+
+
+@pytest.fixture
+def fraud_log():
+    """A live log with a labelled dense burst among five colluding accounts."""
+    rows = []
+    ts = 100
+    for i in range(20):
+        rows.append((f"user{i % 10}", f"shop{i % 4}", 2.0, ts, None))
+        ts += 1
+    members = [f"fraud{i}" for i in range(5)]
+    for _round in range(6):
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                rows.append((u, v, 8.0, ts, "ring"))
+                ts += 0.05
+    return make_log(rows)
+
+
+class TestTransactionLog:
+    def test_ordering_enforced(self):
+        log = TransactionLog()
+        log.append(TransactionRecord("a", "c", "m", 1.0, 5.0))
+        with pytest.raises(StreamError):
+            log.append(TransactionRecord("b", "c", "m", 1.0, 4.0))
+
+    def test_window_and_len(self, initial_log):
+        assert len(initial_log) == 30
+        assert len(initial_log.window(0.0, 10.0)) == 10
+
+    def test_stream_round_trip(self, initial_log):
+        stream = initial_log.as_stream()
+        assert isinstance(stream, UpdateStream)
+        rebuilt = TransactionLog.from_stream(stream)
+        assert len(rebuilt) == len(initial_log)
+
+    def test_record_as_edge(self):
+        record = TransactionRecord("t", "c", "m", 3.0, 1.0, fraud_label="x")
+        edge = record.as_edge()
+        assert isinstance(edge, TimestampedEdge)
+        assert edge.weight == 3.0 and edge.fraud_label == "x"
+
+
+class TestGraphBuilder:
+    def test_build_uses_semantics(self, initial_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        assert graph.num_vertices() == 14  # 10 users + 4 shops
+        assert graph.total_edge_weight() == pytest.approx(60.0)
+
+    def test_extend_adds_new_vertices_and_edges(self, initial_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        count = builder.extend(graph, [TransactionRecord("t", "newbie", "shop0", 5.0, 99.0)])
+        assert count == 1
+        assert graph.has_vertex("newbie")
+
+
+class TestDetectors:
+    def test_periodic_detector_only_updates_at_period(self, initial_log, fraud_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        detector = PeriodicStaticDetector(dw_semantics(), graph, period=1000.0)
+        before = detector.current_fraudsters()
+        for record in fraud_log:
+            detector.observe(record)
+        # Period never elapsed, so the community never changed.
+        assert detector.current_fraudsters() == before
+        assert detector.runs == 1
+
+    def test_periodic_detector_detects_after_period(self, initial_log, fraud_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        # A short period guarantees at least one re-detection run falls inside
+        # the fraud burst (the burst spans roughly three stream seconds).
+        detector = PeriodicStaticDetector(dw_semantics(), graph, period=1.0)
+        for record in fraud_log:
+            detector.observe(record)
+        assert detector.runs > 1
+        assert any(str(v).startswith("fraud") for v in detector.current_fraudsters())
+
+    def test_realtime_detector_tracks_every_update(self, initial_log, fraud_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        detector = RealTimeSpadeDetector(dw_semantics(), graph)
+        for record in fraud_log:
+            detector.observe(record)
+        assert detector.updates == len(fraud_log)
+        assert {f"fraud{i}" for i in range(5)} <= set(detector.current_fraudsters())
+        assert detector.name == "IncDW"
+
+    def test_realtime_detector_with_grouping_name(self, initial_log):
+        builder = GraphBuilder(dw_semantics())
+        graph = builder.build(initial_log)
+        detector = RealTimeSpadeDetector(dw_semantics(), graph, edge_grouping=True)
+        assert detector.name == "IncDWG"
+
+
+class TestModerator:
+    def test_review_bans_new_members_once(self):
+        moderator = Moderator()
+        assert moderator.review({"a", "b"}, timestamp=1.0) == 2
+        assert moderator.review({"a", "b"}, timestamp=2.0) == 0
+        assert moderator.banned_accounts == {"a", "b"}
+        assert len(moderator.actions) == 1
+
+    def test_screen_blocks_banned_accounts(self):
+        moderator = Moderator()
+        moderator.review({"fraudster"}, timestamp=0.0)
+        blocked = TransactionRecord("t1", "fraudster", "shop", 10.0, 1.0)
+        allowed = TransactionRecord("t2", "honest", "shop", 10.0, 1.0)
+        assert not moderator.screen(blocked)
+        assert moderator.screen(allowed)
+        assert moderator.prevented_transactions() == 1
+        assert moderator.prevented_amount() == 10.0
+
+    def test_auto_ban_off(self):
+        moderator = Moderator(auto_ban=False)
+        assert moderator.review({"a"}, timestamp=0.0) == 0
+        assert not moderator.banned_accounts
+
+    def test_summary_and_ratio(self):
+        moderator = Moderator()
+        moderator.review({"x"}, 0.0)
+        moderator.screen(TransactionRecord("t", "x", "m", 5.0, 1.0))
+        assert moderator.prevention_ratio(2) == 0.5
+        assert moderator.prevention_ratio(0) == 0.0
+        assert moderator.summary()["banned accounts"] == 1
+
+
+class TestPipeline:
+    def test_spade_pipeline_prevents_fraud(self, initial_log, fraud_log):
+        pipeline = FraudDetectionPipeline(dw_semantics(), detector="spade")
+        pipeline.initialise(initial_log)
+        report = pipeline.run(fraud_log)
+        assert report.detector_name == "IncDW"
+        assert report.fraud_transactions_total > 0
+        assert report.fraud_prevention_ratio > 0.3
+        assert report.blocked_transactions > 0
+
+    def test_periodic_pipeline_prevents_less(self, initial_log, fraud_log):
+        realtime = FraudDetectionPipeline(dw_semantics(), detector="spade")
+        realtime.initialise(initial_log)
+        realtime_report = realtime.run(fraud_log)
+
+        periodic = FraudDetectionPipeline(dw_semantics(), detector="periodic", static_period=500.0)
+        periodic.initialise(initial_log)
+        periodic_report = periodic.run(fraud_log)
+
+        assert realtime_report.fraud_prevention_ratio >= periodic_report.fraud_prevention_ratio
+
+    def test_run_before_initialise_rejected(self, fraud_log):
+        pipeline = FraudDetectionPipeline(dw_semantics())
+        with pytest.raises(RuntimeError):
+            pipeline.run(fraud_log)
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError):
+            FraudDetectionPipeline(detector="quantum")
+
+    def test_report_row(self, initial_log, fraud_log):
+        pipeline = FraudDetectionPipeline(dw_semantics(), detector="spade")
+        pipeline.initialise(initial_log)
+        row = pipeline.run(fraud_log).as_row()
+        assert {"detector", "processed", "blocked", "fraud prevention"} <= set(row)

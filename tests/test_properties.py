@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the strongest correctness checks in the suite: for arbitrary
+random graphs and arbitrary update interleavings, the incrementally
+maintained peeling state must be indistinguishable from a from-scratch run.
+Weights are drawn as multiples of 1/64 so floating-point arithmetic is
+exact and sequence equality can be asserted literally (see
+``tests/helpers.py``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import insert_batch
+from repro.core.deletion import delete_edges
+from repro.core.insertion import insert_edge
+from repro.core.state import PeelingState
+from repro.graph.graph import DynamicGraph
+from repro.peeling.exact import brute_force_densest
+from repro.peeling.result import best_suffix, densities_from_weights
+from repro.peeling.semantics import dw_semantics, subset_density
+from repro.peeling.static import peel
+
+from tests.helpers import assert_matches_static, assert_valid_state
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_edge_lists(draw, min_vertices=3, max_vertices=16, max_edges=50):
+    """Random simple directed edge lists with exact (dyadic) weights."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    possible = [(i, j) for i in range(n) for j in range(n) if i != j]
+    count = draw(st.integers(1, min(max_edges, len(possible))))
+    pairs = draw(st.permutations(possible))[:count]
+    weights = draw(
+        st.lists(
+            st.integers(1, 256).map(lambda u: u / 64.0),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return [(src, dst, w) for (src, dst), w in zip(pairs, weights)]
+
+
+@st.composite
+def graphs_with_updates(draw):
+    """A split of a random edge list into (initial, increments)."""
+    edges = draw(weighted_edge_lists(min_vertices=4))
+    cut = draw(st.integers(1, max(1, len(edges) // 2)))
+    return edges[:-cut] or edges[:1], edges[-cut:]
+
+
+class TestStaticPeelingProperties:
+    @given(weighted_edge_lists())
+    @SETTINGS
+    def test_peel_weights_telescope_and_sequence_is_greedy(self, edges):
+        graph = dw_semantics().materialize(edges)
+        result = peel(graph, "DW")
+        assert abs(sum(result.weights) - graph.total_suspiciousness()) < 1e-9
+        from repro.peeling.guarantees import is_valid_peeling_sequence
+
+        assert is_valid_peeling_sequence(graph, result.order, result.weights)
+
+    @given(weighted_edge_lists(max_vertices=10, max_edges=24))
+    @SETTINGS
+    def test_half_approximation_guarantee(self, edges):
+        graph = dw_semantics().materialize(edges)
+        result = peel(graph, "DW")
+        optimum = brute_force_densest(graph)
+        assert subset_density(graph, result.community) >= optimum.density / 2.0 - 1e-9
+
+    @given(weighted_edge_lists())
+    @SETTINGS
+    def test_community_density_is_max_over_suffixes(self, edges):
+        graph = dw_semantics().materialize(edges)
+        result = peel(graph, "DW")
+        densities = densities_from_weights(result.total_suspiciousness, result.weights)
+        assert result.best_density >= max(densities) - 1e-9
+
+    @given(st.floats(0.1, 100.0), st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+    @SETTINGS
+    def test_best_suffix_consistent_with_density_profile(self, extra, weights):
+        total = sum(weights) + extra
+        index, density = best_suffix(total, weights)
+        densities = densities_from_weights(total, weights)
+        assert density >= max(densities) - 1e-9
+        assert densities[index] <= density + 1e-9
+
+
+class TestIncrementalEquivalenceProperties:
+    @given(graphs_with_updates())
+    @SETTINGS
+    def test_single_edge_insertions_match_static(self, split):
+        initial, increments = split
+        state = PeelingState(dw_semantics().materialize(initial), dw_semantics())
+        for src, dst, weight in increments:
+            insert_edge(state, src, dst, weight)
+        assert_matches_static(state)
+
+    @given(graphs_with_updates())
+    @SETTINGS
+    def test_batch_insertion_matches_static(self, split):
+        initial, increments = split
+        state = PeelingState(dw_semantics().materialize(initial), dw_semantics())
+        insert_batch(state, increments)
+        assert_matches_static(state)
+
+    @given(graphs_with_updates(), st.integers(1, 4))
+    @SETTINGS
+    def test_arbitrary_batch_partitioning_matches_static(self, split, chunk):
+        initial, increments = split
+        state = PeelingState(dw_semantics().materialize(initial), dw_semantics())
+        for start in range(0, len(increments), chunk):
+            insert_batch(state, increments[start : start + chunk])
+        assert_matches_static(state)
+
+    @given(weighted_edge_lists(min_vertices=4))
+    @SETTINGS
+    def test_deleting_a_random_edge_matches_static(self, edges):
+        state = PeelingState(dw_semantics().materialize(edges), dw_semantics())
+        src, dst, _weight = edges[len(edges) // 2]
+        delete_edges(state, [(src, dst)])
+        assert_matches_static(state)
+
+    @given(graphs_with_updates())
+    @SETTINGS
+    def test_insert_then_delete_round_trip_matches_static(self, split):
+        initial, increments = split
+        state = PeelingState(dw_semantics().materialize(initial), dw_semantics())
+        insert_batch(state, increments)
+        # Delete the just-inserted edges again (note: weights accumulated on
+        # duplicates are removed entirely, so compare against a fresh peel of
+        # whatever graph actually remains rather than the initial one).
+        delete_edges(state, [(src, dst) for src, dst, _w in increments])
+        assert_valid_state(state)
+        assert_matches_static(state)
+
+
+class TestTotalSuspiciousnessProperties:
+    @given(graphs_with_updates())
+    @SETTINGS
+    def test_total_tracks_graph_through_updates(self, split):
+        initial, increments = split
+        semantics = dw_semantics()
+        state = PeelingState(semantics.materialize(initial), semantics)
+        insert_batch(state, increments)
+        assert abs(state.total - state.graph.total_suspiciousness()) < 1e-9
+        state.check_consistency()
+
+    @given(weighted_edge_lists())
+    @SETTINGS
+    def test_isolated_vertices_never_join_the_community(self, edges):
+        semantics = dw_semantics()
+        graph = semantics.materialize(edges)
+        for i in range(3):
+            graph.add_vertex(f"isolated-{i}", 0.0)
+        state = PeelingState(graph, semantics)
+        community = state.community()
+        assert not any(str(v).startswith("isolated-") for v in community.vertices)

@@ -1,0 +1,116 @@
+"""Tests for the stream replay driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spade import Spade
+from repro.streaming.policies import BatchPolicy, EdgeGroupingPolicy, PerEdgePolicy
+from repro.streaming.replay import replay_stream
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+from tests.helpers import assert_valid_state
+
+
+def fraud_burst_stream() -> tuple:
+    """Background edges plus a dense labelled burst; returns (stream, truth)."""
+    edges = []
+    for i in range(40):
+        edges.append(TimestampedEdge(f"bg{i}", f"shop{i % 7}", float(i), 0.5))
+    members = [f"fraud{i}" for i in range(5)]
+    ts = 40.0
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            for _ in range(3):
+                edges.append(TimestampedEdge(u, v, ts, 6.0, fraud_label="ring"))
+                ts += 0.25
+    stream = UpdateStream(edges, sort=True)
+    return stream, {"ring": frozenset(members)}
+
+
+@pytest.fixture
+def loaded_spade(dw):
+    spade = Spade(dw)
+    spade.load_edges([("seed1", "seed2", 2.0), ("seed2", "seed3", 2.0), ("seed1", "seed3", 2.0)])
+    return spade
+
+
+class TestReplayBasics:
+    def test_all_edges_processed(self, loaded_spade):
+        stream, _ = fraud_burst_stream()
+        report = replay_stream(loaded_spade, stream, PerEdgePolicy())
+        assert report.metrics.edges == len(stream)
+        assert report.metrics.flushes == len(stream)
+        assert_valid_state(loaded_spade.state)
+
+    def test_batch_policy_flush_count(self, loaded_spade):
+        stream, _ = fraud_burst_stream()
+        report = replay_stream(loaded_spade, stream, BatchPolicy(16))
+        assert report.metrics.edges == len(stream)
+        assert report.metrics.flushes == -(-len(stream) // 16)
+
+    def test_leftover_edges_are_drained(self, loaded_spade):
+        stream, _ = fraud_burst_stream()
+        report = replay_stream(loaded_spade, stream, BatchPolicy(1000))
+        assert report.metrics.flushes == 1
+        assert report.metrics.edges == len(stream)
+
+    def test_fraud_detection_and_prevention(self, loaded_spade):
+        stream, truth = fraud_burst_stream()
+        report = replay_stream(loaded_spade, stream, PerEdgePolicy(), fraud_communities=truth)
+        assert report.detection_times.get("ring") is not None
+        assert report.metrics.prevention_ratio > 0.3
+
+    def test_larger_batches_increase_latency(self, dw):
+        stream, truth = fraud_burst_stream()
+
+        def run(policy):
+            spade = Spade(dw)
+            spade.load_edges([("seed1", "seed2", 2.0)])
+            return replay_stream(spade, stream, policy, fraud_communities=truth)
+
+        per_edge = run(PerEdgePolicy())
+        batched = run(BatchPolicy(40))
+        assert batched.metrics.mean_latency > per_edge.metrics.mean_latency
+        assert batched.metrics.queueing_share > 0.5
+
+    def test_grouping_policy_reports_prevention(self, dw):
+        stream, truth = fraud_burst_stream()
+        spade = Spade(dw)
+        spade.load_edges([("seed1", "seed2", 2.0)])
+        report = replay_stream(
+            spade, stream, EdgeGroupingPolicy(), fraud_communities=truth, ban_detected=True
+        )
+        assert report.metrics.prevention_ratio > 0.2
+
+    def test_ban_detected_blocks_later_fraud_edges(self, dw):
+        stream, truth = fraud_burst_stream()
+        spade = Spade(dw)
+        spade.load_edges([("seed1", "seed2", 2.0)])
+        report = replay_stream(
+            spade, stream, PerEdgePolicy(), fraud_communities=truth, ban_detected=True
+        )
+        # Banned edges never reach the graph, so fewer edges are processed.
+        assert report.metrics.edges < len(stream)
+        for member in truth["ring"]:
+            if spade.graph.has_vertex(member):
+                assert spade.graph.degree(member) <= 8
+
+    def test_detect_after_flush_false_skips_detection(self, loaded_spade):
+        stream, truth = fraud_burst_stream()
+        report = replay_stream(
+            loaded_spade, stream, PerEdgePolicy(), fraud_communities=truth, detect_after_flush=False
+        )
+        assert report.detection_times == {}
+
+    def test_summary_and_report_name(self, loaded_spade):
+        stream, _ = fraud_burst_stream()
+        report = replay_stream(loaded_spade, stream, BatchPolicy(10, label="my-batch"))
+        assert report.name == "my-batch"
+        assert "my-batch" in report.summary()
+
+    def test_empty_stream(self, loaded_spade):
+        report = replay_stream(loaded_spade, UpdateStream([]), PerEdgePolicy())
+        assert report.metrics.edges == 0
+        assert report.metrics.flushes == 0
+        assert report.metrics.prevention_ratio == 0.0

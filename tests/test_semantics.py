@@ -1,0 +1,126 @@
+"""Unit tests for the density semantics (vsusp / esusp plug-ins)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.graph.graph import DynamicGraph
+from repro.peeling.semantics import (
+    custom_semantics,
+    dg_semantics,
+    dw_semantics,
+    fraudar_semantics,
+    subset_density,
+    subset_suspiciousness,
+)
+
+
+class TestBuiltInSemantics:
+    def test_dg_weights_every_edge_one(self, dg):
+        graph = dg.materialize([("a", "b", 7.0), ("b", "c", 0.5)])
+        assert graph.edge_weight("a", "b") == 1.0
+        assert graph.edge_weight("b", "c") == 1.0
+        assert graph.vertex_weight("a") == 0.0
+
+    def test_dw_uses_raw_weight(self, dw):
+        graph = dw.materialize([("a", "b", 7.0), ("b", "c", 0.5)])
+        assert graph.edge_weight("a", "b") == 7.0
+        assert graph.edge_weight("b", "c") == 0.5
+
+    def test_dw_accumulates_duplicate_transactions(self, dw):
+        graph = dw.materialize([("a", "b", 2.0), ("a", "b", 3.0)])
+        assert graph.edge_weight("a", "b") == 5.0
+        assert graph.num_edges() == 1
+
+    def test_fd_discounts_popular_destinations(self, fd):
+        edges = [("a", "hub", 1.0), ("b", "hub", 1.0), ("c", "hub", 1.0), ("a", "rare", 1.0)]
+        graph = fd.materialize(edges)
+        # The hub has degree 3+1 in the structural graph; "rare" has degree 1.
+        assert graph.edge_weight("a", "hub") < graph.edge_weight("a", "rare")
+
+    def test_fd_formula_matches_listing2(self):
+        fd = fraudar_semantics(column_constant=5.0)
+        graph = DynamicGraph()
+        graph.add_edge("x", "y", 1.0)
+        weight = fd.edge_weight("x", "y", 1.0, graph)
+        assert weight == pytest.approx(1.0 / math.log(graph.degree("y") + 5.0))
+
+    def test_fd_vertex_priors(self):
+        fd = fraudar_semantics(vertex_priors={"suspect": 2.0})
+        graph = DynamicGraph()
+        assert fd.vertex_weight("suspect", graph) == 2.0
+        assert fd.vertex_weight("other", graph) == 0.0
+
+    def test_names(self, dg, dw, fd):
+        assert (dg.name, dw.name, fd.name) == ("DG", "DW", "FD")
+
+    def test_with_name(self, dg):
+        renamed = dg.with_name("DG-variant")
+        assert renamed.name == "DG-variant"
+        assert renamed.edge_susp is dg.edge_susp
+
+
+class TestCustomSemantics:
+    def test_custom_plugins_are_used(self):
+        sem = custom_semantics(
+            "amount-squared",
+            edge_susp=lambda _s, _d, raw, _g: raw * raw,
+            vertex_susp=lambda v, _g: 1.0 if str(v).startswith("risky") else 0.0,
+        )
+        graph = sem.materialize([("risky1", "m", 3.0)])
+        assert graph.edge_weight("risky1", "m") == 9.0
+        assert graph.vertex_weight("risky1") == 1.0
+        assert graph.vertex_weight("m") == 0.0
+
+    def test_invalid_edge_susp_rejected(self):
+        sem = custom_semantics("bad", edge_susp=lambda *_: 0.0)
+        with pytest.raises(SemanticsError):
+            sem.edge_weight("a", "b", 1.0, DynamicGraph())
+
+    def test_invalid_vertex_susp_rejected(self):
+        sem = custom_semantics("bad", vertex_susp=lambda *_: -1.0)
+        with pytest.raises(SemanticsError):
+            sem.vertex_weight("a", DynamicGraph())
+
+    def test_nan_rejected(self):
+        sem = custom_semantics("bad", edge_susp=lambda *_: float("nan"))
+        with pytest.raises(SemanticsError):
+            sem.edge_weight("a", "b", 1.0, DynamicGraph())
+
+
+class TestMaterialize:
+    def test_materialize_includes_all_edge_endpoints(self, dw):
+        graph = dw.materialize([("a", "b", 1.0), ("c", "d", 2.0)])
+        assert set(graph.vertices()) == {"a", "b", "c", "d"}
+
+    def test_materialize_vertex_priors_override(self, dg):
+        graph = dg.materialize([("a", "b", 1.0)], vertex_priors={"a": 5.0})
+        assert graph.vertex_weight("a") == 5.0
+
+    def test_materialize_two_element_tuples_default_weight(self, dw):
+        graph = dw.materialize([("a", "b")])
+        assert graph.edge_weight("a", "b") == 1.0
+
+    def test_fd_materialize_uses_final_degrees(self, fd):
+        # Structural degree of "hub" is 3; every edge into it gets the same weight.
+        graph = fd.materialize([("a", "hub", 1.0), ("b", "hub", 1.0), ("c", "hub", 1.0)])
+        weights = {graph.edge_weight(u, "hub") for u in ("a", "b", "c")}
+        assert len(weights) == 1
+
+
+class TestSubsetMetrics:
+    def test_subset_suspiciousness_matches_manual_sum(self, dw):
+        graph = dw.materialize([("a", "b", 2.0), ("b", "c", 3.0), ("c", "a", 4.0), ("c", "d", 10.0)])
+        assert subset_suspiciousness(graph, {"a", "b", "c"}) == pytest.approx(9.0)
+        assert subset_density(graph, {"a", "b", "c"}) == pytest.approx(3.0)
+
+    def test_subset_density_empty_set(self, dw):
+        graph = dw.materialize([("a", "b", 2.0)])
+        assert subset_density(graph, set()) == 0.0
+
+    def test_subset_ignores_unknown_vertices(self, dw):
+        graph = dw.materialize([("a", "b", 2.0)])
+        assert subset_suspiciousness(graph, {"a", "b", "ghost"}) == pytest.approx(2.0)

@@ -1,0 +1,173 @@
+"""Tests for the public Spade API (Listing 1 / Listing 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Spade, dg_semantics, dw_semantics, fraudar_semantics
+from repro.errors import StateError
+from repro.graph.delta import EdgeUpdate
+
+from tests.helpers import assert_matches_static
+
+
+EDGES = [
+    ("u1", "u2", 2.0),
+    ("u2", "u3", 1.0),
+    ("u1", "u3", 4.0),
+    ("u3", "u4", 2.0),
+    ("u4", "u5", 2.0),
+]
+
+
+class TestLifecycle:
+    def test_default_semantics_is_dg(self):
+        assert Spade().semantics.name == "DG"
+
+    def test_detect_before_load_raises(self):
+        with pytest.raises(StateError):
+            Spade().detect()
+
+    def test_load_edges_and_detect(self, dw):
+        spade = Spade(dw)
+        result = spade.load_edges(EDGES)
+        assert result.community == spade.detect().vertices
+        assert spade.graph.num_edges() == len(EDGES)
+
+    def test_load_graph_adopts_existing_graph(self, dw, two_block_graph):
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        assert spade.graph is two_block_graph
+
+    def test_load_edges_with_priors(self):
+        spade = Spade(fraudar_semantics())
+        spade.load_edges(EDGES, vertex_priors={"u1": 2.0})
+        assert spade.graph.vertex_weight("u1") == 2.0
+
+    def test_repr_mentions_semantics(self, dw):
+        spade = Spade(dw)
+        assert "DW" in repr(spade)
+
+
+class TestCustomSemantics:
+    def test_set_suspiciousness_before_load(self):
+        spade = Spade()
+        spade.set_suspiciousness(
+            edge_susp=lambda _s, _d, raw, _g: raw * 2.0,
+            name="double",
+        )
+        spade.load_edges([("a", "b", 3.0)])
+        assert spade.graph.edge_weight("a", "b") == 6.0
+        assert spade.semantics.name == "double"
+
+    def test_set_suspiciousness_after_load_rejected(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        with pytest.raises(StateError):
+            spade.set_suspiciousness(name="late")
+
+
+class TestUpdates:
+    def test_insert_edge_returns_updated_community(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        community = spade.insert_edge("u4", "u5", 50.0)
+        assert {"u4", "u5"} <= set(community.vertices)
+        assert_matches_static(spade.state)
+
+    def test_insert_batch_edges(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        community = spade.insert_batch_edges([("u5", "u1", 3.0), EdgeUpdate("u2", "u5", 2.0)])
+        assert community.density > 0
+        assert spade.graph.has_edge("u5", "u1")
+        assert_matches_static(spade.state)
+
+    def test_delete_edges(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        spade.delete_edges([("u1", "u3")])
+        assert not spade.graph.has_edge("u1", "u3")
+        assert_matches_static(spade.state)
+
+    def test_last_stats_exposes_affected_area(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        spade.insert_edge("u1", "u5", 1.0)
+        assert spade.last_stats.affected_area > 0
+
+    def test_result_export(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        result = spade.result()
+        assert set(result.order) == {f"u{i}" for i in range(1, 6)}
+
+    def test_enumerate_frauds(self, dw):
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        instances = spade.enumerate_frauds(max_instances=2, min_density=0.1)
+        assert instances
+        assert instances[0].vertices == spade.detect().vertices
+
+
+class TestEdgeGroupingIntegration:
+    def test_grouping_buffers_benign_edges(self, dw, two_block_graph):
+        spade = Spade(dw, edge_grouping=True)
+        spade.load_graph(two_block_graph)
+        spade.insert_edge("l2", "l0", 0.05)
+        assert spade.pending_edges() == 1
+        assert not spade.graph.has_edge("l2", "l0")
+
+    def test_urgent_edge_flushes(self, dw, two_block_graph):
+        spade = Spade(dw, edge_grouping=True)
+        spade.load_graph(two_block_graph)
+        spade.insert_edge("l2", "l0", 0.05)
+        spade.insert_edge("h0", "h2", 9.0)
+        assert spade.pending_edges() == 0
+        assert spade.graph.has_edge("l2", "l0")
+
+    def test_flush_pending(self, dw, two_block_graph):
+        spade = Spade(dw, edge_grouping=True)
+        spade.load_graph(two_block_graph)
+        spade.insert_edge("l2", "l0", 0.05)
+        spade.flush_pending()
+        assert spade.pending_edges() == 0
+        assert spade.graph.has_edge("l2", "l0")
+
+    def test_enable_after_load(self, dw, two_block_graph):
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        spade.enable_edge_grouping()
+        spade.insert_edge("l2", "l0", 0.05)
+        assert spade.pending_edges() == 1
+        spade.disable_edge_grouping()
+        assert spade.pending_edges() == 0
+        assert spade.graph.has_edge("l2", "l0")
+
+    def test_batch_insert_flushes_pending_first(self, dw, two_block_graph):
+        spade = Spade(dw, edge_grouping=True)
+        spade.load_graph(two_block_graph)
+        spade.insert_edge("l2", "l0", 0.05)
+        spade.insert_batch_edges([("l2", "l1", 0.05)])
+        assert spade.pending_edges() == 0
+        assert spade.graph.has_edge("l2", "l0")
+        assert spade.graph.has_edge("l2", "l1")
+
+    def test_is_benign_uses_semantics_weighting(self, two_block_graph):
+        spade = Spade(dg_semantics())
+        spade.load_graph(dg_semantics().materialize([(u, v, w) for u, v, w in [("a", "b", 1), ("b", "c", 1)]]))
+        # Under DG every edge weighs 1 regardless of the raw amount.
+        assert spade.is_benign("x", "y", 1000.0) == spade.is_benign("x", "y", 1.0)
+
+
+class TestListingTwoWorkflow:
+    def test_paper_listing_2_equivalent_flow(self):
+        """The FD workflow of Listing 2: plug-ins, load, detect, insert."""
+        spade = Spade(fraudar_semantics(column_constant=5.0), edge_grouping=True)
+        spade.load_edges(EDGES)
+        fraudsters = spade.detect().vertices
+        assert fraudsters
+        for edge in [("u9", "u1", 1.0), ("u9", "u3", 1.0), ("u9", "u2", 1.0)]:
+            community = spade.insert_edge(*edge)
+        spade.flush_pending()
+        assert spade.graph.has_vertex("u9")

@@ -1,0 +1,157 @@
+"""Unit tests for the maintained peeling state."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.state import PeelingState
+from repro.errors import StateError
+from repro.peeling.result import PeelingResult
+from repro.peeling.semantics import dw_semantics, subset_density
+from repro.peeling.static import peel
+
+from tests.helpers import build_state, random_weighted_edges
+
+
+class TestConstruction:
+    def test_state_runs_static_peel_when_no_result_given(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        assert len(state) == two_block_graph.num_vertices()
+        assert state.community().vertices == peel(two_block_graph, "DW").community
+
+    def test_state_accepts_precomputed_result(self, two_block_graph, dw):
+        result = peel(two_block_graph, "DW")
+        state = PeelingState(two_block_graph, dw, result=result)
+        assert list(state.order) == list(result.order)
+
+    def test_mismatched_result_rejected(self, two_block_graph, triangle_graph, dw):
+        wrong = peel(triangle_graph, "DW")
+        with pytest.raises(StateError):
+            PeelingState(two_block_graph, dw, result=wrong)
+
+
+class TestPositions:
+    def test_position_roundtrip(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        for index, vertex in enumerate(state.order):
+            assert state.position(vertex) == index
+
+    def test_position_unknown_vertex(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        with pytest.raises(StateError):
+            state.position("ghost")
+
+    def test_prepend_vertex_shifts_positions(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        old_first = state.order[0]
+        triangle_graph.add_vertex("new", 0.0)
+        state.prepend_vertex("new", 0.0)
+        assert state.position("new") == 0
+        assert state.position(old_first) == 1
+        assert len(state.order) == len(state.weights)
+
+    def test_prepend_duplicate_rejected(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        with pytest.raises(StateError):
+            state.prepend_vertex(state.order[0], 0.0)
+
+    def test_contains(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        assert "a" in state
+        assert "ghost" not in state
+
+
+class TestSegmentsAndTotals:
+    def test_write_segment_updates_positions_and_weights(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        segment = list(state.order[2:5])
+        reversed_segment = list(reversed(segment))
+        weights = [float(state.weights[state.position(v)]) for v in reversed_segment]
+        state.write_segment(2, reversed_segment, weights)
+        assert list(state.order[2:5]) == reversed_segment
+        for index, vertex in enumerate(reversed_segment, start=2):
+            assert state.position(vertex) == index
+
+    def test_write_segment_out_of_bounds(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        with pytest.raises(StateError):
+            state.write_segment(len(state.order), ["a", "b"], [0.0, 0.0])
+
+    def test_add_total_invalidates_cache(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        before = state.community().density
+        state.add_total(100.0)
+        after = state.community().density
+        assert after > before
+
+    def test_full_set_weight(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        assert state.full_set_weight("d") == pytest.approx(0.25)
+        assert state.full_set_weight("a") == pytest.approx(2.25)
+
+
+class TestCommunityAndExport:
+    def test_community_matches_static(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        static = peel(random_graph, "DW")
+        community = state.community()
+        assert community.vertices == static.community
+        assert community.density == pytest.approx(static.best_density)
+        assert community.peel_index == static.best_index
+
+    def test_community_density_matches_direct_evaluation(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        community = state.community()
+        assert community.density == pytest.approx(
+            subset_density(random_graph, community.vertices)
+        )
+
+    def test_community_membership_protocol(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        community = state.community()
+        assert "h0" in community
+        assert "l2" not in community
+
+    def test_density_profile_matches_result(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        profile = state.density_profile()
+        result_densities = state.as_result().densities()
+        assert profile == pytest.approx(result_densities)
+
+    def test_as_result_round_trip(self, random_graph, dw):
+        state = PeelingState(random_graph, dw)
+        result = state.as_result()
+        assert isinstance(result, PeelingResult)
+        assert list(result.order) == list(state.order)
+        assert result.semantics_name == "DW"
+
+    def test_check_consistency_detects_total_drift(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        state.total += 5.0
+        with pytest.raises(StateError):
+            state.check_consistency()
+
+    def test_check_consistency_detects_missing_vertex(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        triangle_graph.add_vertex("extra")
+        with pytest.raises(StateError):
+            state.check_consistency()
+
+
+class TestTieBreakRegistry:
+    def test_register_vertex_appends_new_index(self, triangle_graph, dw):
+        state = PeelingState(triangle_graph, dw)
+        size = len(state.tie_break)
+        state.register_vertex("brand-new")
+        assert state.tie_break["brand-new"] == size
+        state.register_vertex("brand-new")
+        assert len(state.tie_break) == size + 1
+
+    def test_tie_break_matches_graph_insertion_order(self):
+        rng = random.Random(0)
+        state = build_state(random_weighted_edges(15, 40, rng))
+        order = list(state.graph.vertices())
+        for index, vertex in enumerate(order):
+            assert state.tie_break[vertex] == index

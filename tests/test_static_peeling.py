@@ -1,0 +1,160 @@
+"""Unit tests for the static peeling algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.peeling.guarantees import is_valid_peeling_sequence
+from repro.peeling.result import PeelingResult, best_suffix, densities_from_weights
+from repro.peeling.semantics import dg_semantics, dw_semantics, subset_density
+from repro.peeling.static import peel, peel_subset, peeling_weights
+
+from tests.helpers import random_weighted_edges
+
+
+class TestPeelBasics:
+    def test_triangle_plus_pendant(self, triangle_graph):
+        result = peel(triangle_graph, "DW")
+        assert result.community == frozenset({"a", "b", "c"})
+        assert result.best_density == pytest.approx(1.0)
+        # The pendant is peeled first because its weight (0.25) is smallest.
+        assert result.order[0] == "d"
+
+    def test_two_block_graph_prefers_heavy_clique(self, two_block_graph):
+        result = peel(two_block_graph, "DW")
+        assert {"h0", "h1", "h2", "h3"} <= set(result.community)
+        assert not {"l1", "l2"} & set(result.community)
+
+    def test_sequence_covers_all_vertices_once(self, random_graph):
+        result = peel(random_graph)
+        assert sorted(result.order, key=repr) == sorted(random_graph.vertices(), key=repr)
+        assert len(set(result.order)) == len(result.order)
+
+    def test_weights_telescope_to_total(self, random_graph):
+        result = peel(random_graph)
+        assert sum(result.weights) == pytest.approx(random_graph.total_suspiciousness())
+
+    def test_sequence_is_valid_greedy_peel(self, random_graph):
+        result = peel(random_graph)
+        check = is_valid_peeling_sequence(random_graph, result.order, result.weights)
+        assert check.valid, check.message
+
+    def test_reported_density_matches_direct_evaluation(self, random_graph):
+        result = peel(random_graph)
+        assert result.best_density == pytest.approx(
+            subset_density(random_graph, result.community)
+        )
+
+    def test_empty_graph(self):
+        from repro.graph.graph import DynamicGraph
+
+        result = peel(DynamicGraph())
+        assert result.order == ()
+        assert result.community == frozenset()
+
+    def test_single_vertex(self):
+        from repro.graph.graph import DynamicGraph
+
+        graph = DynamicGraph(vertices=[("only", 2.0)])
+        result = peel(graph)
+        assert result.order == ("only",)
+        assert result.best_density == pytest.approx(2.0)
+
+    def test_isolated_vertices_excluded_from_community(self, dw):
+        graph = dw.materialize([("a", "b", 5.0)])
+        graph.add_vertex("iso1")
+        graph.add_vertex("iso2")
+        result = peel(graph, "DW")
+        assert result.community == frozenset({"a", "b"})
+
+
+class TestPeelSubset:
+    def test_subset_restricted(self, two_block_graph):
+        result = peel_subset(two_block_graph, {"l0", "l1", "l2"}, "DW")
+        assert set(result.order) == {"l0", "l1", "l2"}
+        assert result.best_density == pytest.approx(1.0)
+
+    def test_subset_ignores_outside_edges(self, two_block_graph):
+        # The bridge h0-l0 must not contribute when h0 is outside the subset.
+        result = peel_subset(two_block_graph, {"l0", "l1", "l2"}, "DW")
+        assert sum(result.weights) == pytest.approx(3.0)
+
+    def test_subset_with_unknown_vertices(self, triangle_graph):
+        result = peel_subset(triangle_graph, {"a", "b", "ghost"})
+        assert set(result.order) == {"a", "b"}
+
+
+class TestPeelingWeights:
+    def test_full_set_weights(self, triangle_graph):
+        weights = peeling_weights(triangle_graph)
+        assert weights["d"] == pytest.approx(0.25)
+        assert weights["a"] == pytest.approx(1.0 + 1.0 + 0.25)
+
+    def test_subset_weights(self, triangle_graph):
+        weights = peeling_weights(triangle_graph, {"a", "b"})
+        assert weights["a"] == pytest.approx(1.0)
+        assert weights["b"] == pytest.approx(1.0)
+
+
+class TestDGvsDW:
+    def test_dg_and_dw_agree_on_unweighted_input(self):
+        rng = random.Random(5)
+        edges = [(s, d, 1.0) for s, d, _w in random_weighted_edges(20, 50, rng)]
+        dg_graph = dg_semantics().materialize(edges)
+        dw_graph = dw_semantics().materialize(edges)
+        dg_result = peel(dg_graph, "DG")
+        dw_result = peel(dw_graph, "DW")
+        assert dg_result.community == dw_result.community
+        assert dg_result.best_density == pytest.approx(dw_result.best_density)
+
+
+class TestResultHelpers:
+    def test_densities_from_weights(self):
+        densities = densities_from_weights(10.0, [1.0, 2.0, 3.0, 4.0])
+        assert densities[0] == pytest.approx(10.0 / 4)
+        assert densities[-1] == pytest.approx(4.0)
+
+    def test_best_suffix_prefers_densest(self):
+        # total=12, weights chosen so that the final 2 vertices are densest.
+        k, density = best_suffix(12.0, [1.0, 1.0, 5.0, 5.0])
+        assert k == 2
+        assert density == pytest.approx(10.0 / 2)
+
+    def test_best_suffix_empty(self):
+        assert best_suffix(0.0, []) == (0, 0.0)
+
+    def test_from_sequence_round_trip(self, random_graph):
+        result = peel(random_graph)
+        rebuilt = PeelingResult.from_sequence(
+            result.order, result.weights, result.total_suspiciousness, "DW"
+        )
+        assert rebuilt.community == result.community
+        assert rebuilt.best_index == result.best_index
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError):
+            PeelingResult(
+                order=("a",),
+                weights=(1.0, 2.0),
+                total_suspiciousness=3.0,
+                best_index=0,
+                best_density=1.0,
+                community=frozenset({"a"}),
+            )
+
+    def test_suffix_set_and_position(self, random_graph):
+        result = peel(random_graph)
+        k = result.best_index
+        assert result.suffix_set(k) == result.community
+        first = result.order[0]
+        assert result.position_of(first) == 0
+        with pytest.raises(KeyError):
+            result.position_of("not-a-vertex")
+        with pytest.raises(IndexError):
+            result.suffix_set(len(result.order) + 1)
+
+    def test_summary_mentions_semantics(self, random_graph):
+        result = peel(random_graph, "DW")
+        assert "DW" in result.summary()

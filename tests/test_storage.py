@@ -1,0 +1,121 @@
+"""Tests for the storage layer (edge lists, JSON lines, snapshot store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.graph import DynamicGraph
+from repro.storage.edgelist import read_edgelist, write_edgelist
+from repro.storage.jsonl import read_records, read_stream, write_records, write_stream
+from repro.storage.store import SnapshotStore
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        edges = [("a", "b", 1.5), ("b", "c", 2.0)]
+        assert write_edgelist(path, edges, header="test graph") == 2
+        loaded = read_edgelist(path)
+        assert loaded == edges
+
+    def test_two_column_lines_get_default_weight(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# comment\na b\nc d 3.5\n\n% other comment\n")
+        assert read_edgelist(path, default_weight=2.0) == [("a", "b", 2.0), ("c", "d", 3.5)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("justonefield\n")
+        with pytest.raises(StorageError):
+            read_edgelist(path)
+
+    def test_bad_weight_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a b notanumber\n")
+        with pytest.raises(StorageError):
+            read_edgelist(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_edgelist(tmp_path / "missing.tsv")
+
+
+class TestJsonl:
+    def test_stream_round_trip(self, tmp_path):
+        stream = UpdateStream(
+            [
+                TimestampedEdge("a", "b", 1.0, 2.0, fraud_label="ring"),
+                TimestampedEdge("b", "c", 2.0, 1.0),
+            ]
+        )
+        path = tmp_path / "stream.jsonl"
+        assert write_stream(path, stream) == 2
+        loaded = read_stream(path)
+        assert len(loaded) == 2
+        assert loaded[0].fraud_label == "ring"
+        assert loaded[1].weight == 1.0
+
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        rows = [{"a": 1}, {"b": "x"}]
+        assert write_records(path, rows) == 2
+        assert list(read_records(path)) == rows
+
+    def test_missing_stream_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_stream(tmp_path / "none.jsonl")
+
+    def test_corrupt_stream_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(StorageError):
+            read_stream(path)
+
+
+class TestSnapshotStore:
+    def test_graph_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        graph = DynamicGraph()
+        graph.add_vertex("a", 1.5)
+        graph.add_edge("a", "b", 2.0)
+        store.save_graph("day1", graph)
+        loaded = store.load_graph("day1")
+        assert loaded.edge_weight("a", "b") == 2.0
+        assert loaded.vertex_weight("a") == 1.5
+
+    def test_stream_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        stream = UpdateStream([TimestampedEdge("a", "b", 0.5, 1.0)])
+        store.save_stream("inc", stream)
+        assert len(store.load_stream("inc")) == 1
+
+    def test_result_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save_result("run", {"density": 4.5, "members": ["a", "b"]})
+        assert store.load_result("run")["density"] == 4.5
+
+    def test_manifest_listing_and_kinds(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save_result("r1", {})
+        store.save_stream("s1", UpdateStream([]))
+        assert store.list_snapshots() == ["r1", "s1"]
+        assert store.list_snapshots(kind="result") == ["r1"]
+        assert store.contains("s1") and not store.contains("nope")
+
+    def test_missing_snapshot_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        with pytest.raises(StorageError):
+            store.load_graph("missing")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.save_result("thing", {})
+        with pytest.raises(StorageError):
+            store.load_stream("thing")
+
+    def test_manifest_survives_reopen(self, tmp_path):
+        root = tmp_path / "store"
+        SnapshotStore(root).save_result("persisted", {"x": 1})
+        assert SnapshotStore(root).load_result("persisted") == {"x": 1}

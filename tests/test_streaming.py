@@ -1,0 +1,252 @@
+"""Tests for the streaming substrate: streams, clock, metrics, policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.clock import SimulatedClock
+from repro.streaming.metrics import LatencyTracker, PreventionTracker
+from repro.streaming.policies import (
+    BatchPolicy,
+    EdgeGroupingPolicy,
+    PerEdgePolicy,
+    PeriodicStaticPolicy,
+)
+from repro.streaming.stream import TimestampedEdge, UpdateStream
+
+
+def make_stream(count: int = 10, fraud_every: int = 0) -> UpdateStream:
+    edges = []
+    for i in range(count):
+        label = "ring" if fraud_every and i % fraud_every == 0 else None
+        edges.append(TimestampedEdge(f"c{i}", f"m{i % 3}", float(i), 1.0 + i, fraud_label=label))
+    return UpdateStream(edges)
+
+
+class TestTimestampedEdge:
+    def test_as_update(self):
+        edge = TimestampedEdge("a", "b", 5.0, 2.0, src_prior=1.0)
+        update = edge.as_update()
+        assert update.edge == ("a", "b")
+        assert update.weight == 2.0
+        assert update.src_weight == 1.0
+
+    def test_is_fraud(self):
+        assert TimestampedEdge("a", "b", 0.0, fraud_label="x").is_fraud
+        assert not TimestampedEdge("a", "b", 0.0).is_fraud
+
+    def test_shifted(self):
+        edge = TimestampedEdge("a", "b", 5.0)
+        assert edge.shifted(2.5).timestamp == 7.5
+
+
+class TestUpdateStream:
+    def test_rejects_unordered_timestamps(self):
+        with pytest.raises(StreamError):
+            UpdateStream([TimestampedEdge("a", "b", 2.0), TimestampedEdge("b", "c", 1.0)])
+
+    def test_sort_flag_orders_edges(self):
+        stream = UpdateStream(
+            [TimestampedEdge("a", "b", 2.0), TimestampedEdge("b", "c", 1.0)], sort=True
+        )
+        assert [e.timestamp for e in stream] == [1.0, 2.0]
+
+    def test_len_iter_getitem(self):
+        stream = make_stream(5)
+        assert len(stream) == 5
+        assert stream[0].src == "c0"
+        assert len(stream[1:3]) == 2
+        assert isinstance(stream[1:3], UpdateStream)
+
+    def test_span(self):
+        assert make_stream(5).span() == (0.0, 4.0)
+        assert UpdateStream([]).span() == (0.0, 0.0)
+
+    def test_fraud_views(self):
+        stream = make_stream(10, fraud_every=3)
+        assert len(stream.fraud_edges()) == 4
+        assert stream.fraud_labels() == ["ring"]
+
+    def test_batches(self):
+        batches = list(make_stream(10).batches(4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            list(make_stream(3).batches(0))
+
+    def test_window(self):
+        window = make_stream(10).window(2.0, 5.0)
+        assert [e.timestamp for e in window] == [2.0, 3.0, 4.0]
+
+    def test_merged_with(self):
+        merged = make_stream(3).merged_with(make_stream(3))
+        assert len(merged) == 6
+
+    def test_from_tuples(self):
+        stream = UpdateStream.from_tuples([("a", "b", 2.0), ("b", "c", 1.0, 3.5)])
+        assert len(stream) == 2
+        assert stream[1].weight == 3.5 or stream[0].weight == 3.5
+
+    def test_as_timestamped_updates(self):
+        pairs = make_stream(3).as_timestamped_updates()
+        assert len(pairs) == 3
+        assert pairs[0][0] == 0.0
+
+
+class TestSimulatedClock:
+    def test_process_when_idle(self):
+        clock = SimulatedClock()
+        finish = clock.process(arrival=10.0, compute_seconds=2.0)
+        assert finish == 12.0
+        assert clock.now == 12.0
+
+    def test_process_queues_behind_busy_server(self):
+        clock = SimulatedClock()
+        clock.process(arrival=0.0, compute_seconds=5.0)
+        finish = clock.process(arrival=1.0, compute_seconds=1.0)
+        assert finish == 6.0
+
+    def test_compute_scale(self):
+        clock = SimulatedClock(compute_scale=10.0)
+        assert clock.process(arrival=0.0, compute_seconds=1.0) == 10.0
+
+    def test_reset_and_utilisation(self):
+        clock = SimulatedClock()
+        clock.process(0.0, 2.0)
+        assert clock.utilisation(4.0) == pytest.approx(0.5)
+        clock.reset(100.0)
+        assert clock.now == 100.0
+        assert clock.busy_time == 0.0
+
+
+class TestLatencyTracker:
+    def test_record_batch_and_totals(self):
+        tracker = LatencyTracker()
+        edges = [
+            TimestampedEdge("a", "b", 0.0, fraud_label="x"),
+            TimestampedEdge("b", "c", 1.0),
+        ]
+        tracker.record_batch(edges, queue_start=2.0, response_time=3.0)
+        assert len(tracker) == 2
+        assert tracker.total_latency(fraud_only=True) == pytest.approx(3.0)
+        assert tracker.total_latency(fraud_only=False) == pytest.approx(5.0)
+        assert tracker.mean_queueing_time(fraud_only=False) == pytest.approx(1.5)
+
+    def test_queueing_share(self):
+        tracker = LatencyTracker()
+        tracker.record_batch(
+            [TimestampedEdge("a", "b", 0.0, fraud_label="x")], queue_start=9.0, response_time=10.0
+        )
+        assert tracker.queueing_share() == pytest.approx(0.9)
+
+    def test_percentile(self):
+        tracker = LatencyTracker()
+        for i in range(10):
+            tracker.record_batch(
+                [TimestampedEdge("a", "b", 0.0, fraud_label="x")], queue_start=i, response_time=i
+            )
+        assert tracker.percentile_latency(50) == pytest.approx(4.5)
+
+    def test_empty_tracker(self):
+        tracker = LatencyTracker()
+        assert tracker.total_latency() == 0.0
+        assert tracker.mean_latency() == 0.0
+        assert tracker.queueing_share() == 0.0
+
+
+class TestPreventionTracker:
+    def test_prevention_ratio_per_label(self):
+        tracker = PreventionTracker()
+        for ts in [0.0, 1.0, 2.0, 3.0]:
+            tracker.record_transaction(TimestampedEdge("a", "b", ts, fraud_label="ring"))
+        tracker.record_detection("ring", 1.5)
+        assert tracker.prevention_ratio("ring") == pytest.approx(0.5)
+        assert tracker.overall_prevention_ratio() == pytest.approx(0.5)
+        assert tracker.detection_delays()["ring"] == pytest.approx(1.5)
+
+    def test_earliest_detection_wins(self):
+        tracker = PreventionTracker()
+        tracker.record_transaction(TimestampedEdge("a", "b", 0.0, fraud_label="x"))
+        tracker.record_detection("x", 5.0)
+        tracker.record_detection("x", 2.0)
+        assert tracker.detection_time("x") == 2.0
+
+    def test_undetected_label(self):
+        tracker = PreventionTracker()
+        tracker.record_transaction(TimestampedEdge("a", "b", 0.0, fraud_label="x"))
+        assert tracker.prevention_ratio("x") == 0.0
+        assert tracker.overall_prevention_ratio() == 0.0
+
+    def test_unlabelled_edges_ignored(self):
+        tracker = PreventionTracker()
+        tracker.record_transaction(TimestampedEdge("a", "b", 0.0))
+        assert tracker.labels() == []
+
+
+class TestPolicies:
+    def test_per_edge_policy_flushes_each_edge(self, dw, two_block_graph):
+        from repro.core.spade import Spade
+
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        policy = PerEdgePolicy()
+        edge = TimestampedEdge("l0", "l2", 0.0, 1.0)
+        batch = policy.offer(spade, edge)
+        assert batch == [edge]
+        assert policy.drain() is None
+
+    def test_batch_policy_buffers_until_full(self, dw, two_block_graph):
+        from repro.core.spade import Spade
+
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        policy = BatchPolicy(3)
+        edges = [TimestampedEdge("l0", "l2", float(i), 1.0) for i in range(4)]
+        assert policy.offer(spade, edges[0]) is None
+        assert policy.offer(spade, edges[1]) is None
+        assert len(policy.offer(spade, edges[2])) == 3
+        assert policy.offer(spade, edges[3]) is None
+        assert len(policy.drain()) == 1
+
+    def test_batch_policy_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(0)
+
+    def test_grouping_policy_flushes_on_urgent(self, dw, two_block_graph):
+        from repro.core.spade import Spade
+
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        policy = EdgeGroupingPolicy()
+        benign = TimestampedEdge("l2", "l0", 0.0, 0.05)
+        urgent = TimestampedEdge("h0", "h2", 1.0, 9.0)
+        assert policy.offer(spade, benign) is None
+        batch = policy.offer(spade, urgent)
+        assert len(batch) == 2
+        assert policy.urgent_flushes == 1
+
+    def test_periodic_static_policy_flushes_on_deadline(self, dw, two_block_graph):
+        from repro.core.spade import Spade
+
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        policy = PeriodicStaticPolicy(period=10.0)
+        assert policy.offer(spade, TimestampedEdge("l0", "l2", 0.0, 1.0)) is None
+        assert policy.offer(spade, TimestampedEdge("l1", "l0", 5.0, 1.0)) is None
+        batch = policy.offer(spade, TimestampedEdge("l2", "l1", 11.0, 1.0))
+        assert len(batch) == 3
+
+    def test_periodic_static_policy_process_repeels(self, dw, two_block_graph):
+        from repro.core.spade import Spade
+
+        spade = Spade(dw)
+        spade.load_graph(two_block_graph)
+        policy = PeriodicStaticPolicy(period=10.0)
+        policy.process(spade, [TimestampedEdge("l0", "l1", 0.0, 30.0), TimestampedEdge("l1", "l2", 1.0, 30.0)])
+        assert spade.graph.edge_weight("l0", "l1") == pytest.approx(31.0)
+        # After the re-peel the light clique became the community.
+        assert {"l0", "l1"} <= set(spade.detect().vertices)
+
+    def test_periodic_policy_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicStaticPolicy(0.0)

@@ -1,0 +1,181 @@
+"""Tests for the workload generators (Grab, public, fraud injection, registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.stats import compute_stats, degree_distribution
+from repro.peeling.semantics import dw_semantics, subset_density
+from repro.workloads.datasets import DATASET_REGISTRY, dataset_names, generate_dataset, table3_rows
+from repro.workloads.fraud import (
+    FraudScenario,
+    inject_click_farming,
+    inject_collusion,
+    inject_deal_hunter,
+    inject_standard_patterns,
+)
+from repro.workloads.grab import GrabConfig, generate_grab_dataset
+from repro.workloads.public import PublicConfig, generate_public_dataset
+
+
+class TestGrabGenerator:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            GrabConfig("bad", num_customers=0, num_merchants=10, num_edges=100)
+        with pytest.raises(WorkloadError):
+            GrabConfig("bad", num_customers=10, num_merchants=10, num_edges=100, increment_fraction=1.5)
+
+    def test_split_matches_increment_fraction(self, tiny_grab_dataset):
+        config = tiny_grab_dataset.config
+        expected_increments = int(round(config.num_edges * config.increment_fraction))
+        background_increments = sum(1 for e in tiny_grab_dataset.increments if not e.is_fraud)
+        assert background_increments == expected_increments
+        assert len(tiny_grab_dataset.initial_edges) == config.num_edges - expected_increments
+
+    def test_all_vertices_present_upfront(self, tiny_grab_dataset, dw):
+        graph = tiny_grab_dataset.initial_graph(dw)
+        assert graph.num_vertices() == len(tiny_grab_dataset.vertices)
+        for edge in tiny_grab_dataset.increments:
+            if edge.fraud_label is None:
+                assert graph.has_vertex(edge.src) and graph.has_vertex(edge.dst)
+
+    def test_increments_sorted_by_timestamp(self, tiny_grab_dataset):
+        timestamps = [e.timestamp for e in tiny_grab_dataset.increments]
+        assert timestamps == sorted(timestamps)
+
+    def test_generation_is_deterministic(self):
+        config = GrabConfig("det", 200, 30, 800, seed=5)
+        a = generate_grab_dataset(config)
+        b = generate_grab_dataset(config)
+        assert a.initial_edges == b.initial_edges
+        assert [e.timestamp for e in a.increments] == [e.timestamp for e in b.increments]
+
+    def test_degree_distribution_is_heavy_tailed(self, tiny_grab_dataset, dw):
+        graph = tiny_grab_dataset.initial_graph(dw)
+        dist = degree_distribution(graph)
+        assert dist.power_law_exponent() < -0.5
+        stats = compute_stats(graph)
+        assert stats.max_degree > 5 * stats.avg_degree
+
+    def test_bipartite_structure(self, tiny_grab_dataset):
+        for src, dst, _w in tiny_grab_dataset.initial_edges:
+            assert src.startswith("c") and dst.startswith("m")
+
+    def test_effective_duration_default(self):
+        config = GrabConfig("d", 100, 10, 1000)
+        assert config.effective_duration == pytest.approx(10.0)
+        explicit = GrabConfig("d", 100, 10, 1000, duration=99.0)
+        assert explicit.effective_duration == 99.0
+
+
+class TestFraudInjection:
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(11)
+
+    def test_collusion_block_is_dense(self, rng, dw):
+        scenario = inject_collusion(rng, "ring", start=0.0)
+        graph = dw.materialize([(e.src, e.dst, e.weight) for e in scenario.edges])
+        members = scenario.communities[0].members
+        assert subset_density(graph, members) > 10.0
+
+    def test_patterns_have_expected_shapes(self, rng):
+        collusion = inject_collusion(rng, "a", 0.0)
+        hunter = inject_deal_hunter(rng, "b", 0.0)
+        farming = inject_click_farming(rng, "c", 0.0)
+        assert collusion.communities[0].pattern == "customer-merchant-collusion"
+        assert hunter.communities[0].pattern == "deal-hunter"
+        assert farming.communities[0].pattern == "click-farming"
+        # deal-hunter has more users than merchants; click-farming even more so.
+        assert len(farming.communities[0].members) > len(collusion.communities[0].members)
+
+    def test_edges_are_labelled_and_within_burst(self, rng):
+        scenario = inject_deal_hunter(rng, "burst", start=100.0, duration=50.0)
+        community = scenario.communities[0]
+        for edge in scenario.edges:
+            assert edge.fraud_label == "burst"
+            assert 100.0 <= edge.timestamp <= 150.0
+        assert community.duration() == pytest.approx(50.0)
+
+    def test_merge_rejects_duplicate_labels(self, rng):
+        first = inject_collusion(rng, "dup", 0.0)
+        second = inject_collusion(rng, "dup", 10.0)
+        with pytest.raises(WorkloadError):
+            first.merge(second)
+
+    def test_standard_patterns_cover_all_three(self, rng):
+        scenario = inject_standard_patterns(rng, 0.0, 1000.0)
+        patterns = {c.pattern for c in scenario.communities}
+        assert len(patterns) == 3
+        assert len(scenario.communities) == 3
+        assert scenario.community_map().keys() == {c.label for c in scenario.communities}
+
+    def test_standard_patterns_scale(self, rng):
+        small = inject_standard_patterns(rng, 0.0, 1000.0, scale=0.5)
+        assert all(c.num_transactions >= 30 for c in small.communities)
+
+    def test_standard_patterns_empty_span_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            inject_standard_patterns(rng, 10.0, 10.0)
+
+
+class TestPublicGenerator:
+    def test_counts_match_config(self, small_public_dataset):
+        config = small_public_dataset.config
+        total_edges = len(small_public_dataset.initial_edges) + len(small_public_dataset.increments)
+        assert total_edges == config.num_edges
+        assert len(small_public_dataset.vertices) == config.num_vertices
+
+    def test_unweighted_edges_have_unit_weight(self, small_public_dataset):
+        assert all(w == 1.0 for _s, _d, w in small_public_dataset.initial_edges)
+
+    def test_weighted_variant(self):
+        dataset = generate_public_dataset(PublicConfig("w", 300, 900, weighted=True, seed=2))
+        weights = {w for _s, _d, w in dataset.initial_edges}
+        assert len(weights) > 10
+
+    def test_no_self_loops(self, small_public_dataset):
+        for src, dst, _w in small_public_dataset.initial_edges:
+            assert src != dst
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            PublicConfig("bad", 1, 10)
+        with pytest.raises(WorkloadError):
+            PublicConfig("bad", 10, 0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = dataset_names()
+        assert "grab1" in names and "epinion" in names and "grab1-small" in names
+        assert "grab1-small" not in dataset_names(include_small=False)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_dataset("not-a-dataset")
+
+    def test_small_dataset_generation(self):
+        dataset = generate_dataset("wiki-vote-small", seed=1)
+        assert dataset.name == "wiki-vote-small"
+        assert dataset.num_increments() > 0
+
+    def test_registry_average_degree_tracks_paper(self, dw):
+        # grab4 has a higher average degree than grab1, as in Table 3.
+        spec1 = DATASET_REGISTRY["grab1-small"]
+        spec4 = DATASET_REGISTRY["grab4-small"]
+        g1 = spec1.build(0).initial_graph(dw)
+        g4 = spec4.build(0).initial_graph(dw)
+        assert compute_stats(g4).avg_degree > compute_stats(g1).avg_degree
+
+    def test_table3_rows(self):
+        rows = table3_rows(names=["amazon-small", "grab1-small"], seed=0)
+        assert len(rows) == 2
+        assert {"dataset", "|V|", "|E|", "avg. degree", "increments", "type"} <= set(rows[0])
+
+    def test_dataset_stats_row(self, small_public_dataset, dw):
+        row = small_public_dataset.stats_row(dw)
+        assert row["dataset"] == small_public_dataset.name
+        assert row["|V|"] == len(small_public_dataset.vertices)
