@@ -48,7 +48,10 @@ Quickstart::
 
 from repro._version import __version__
 from repro.core.spade import Spade
+from repro.graph.array_graph import ArrayGraph
+from repro.graph.backend import create_graph, get_default_backend, set_default_backend
 from repro.graph.graph import DynamicGraph
+from repro.graph.interning import VertexInterner
 from repro.graph.delta import EdgeUpdate, GraphDelta
 from repro.peeling.result import PeelingResult
 from repro.peeling.semantics import (
@@ -62,7 +65,12 @@ from repro.peeling.static import peel
 __all__ = [
     "__version__",
     "Spade",
+    "ArrayGraph",
     "DynamicGraph",
+    "VertexInterner",
+    "create_graph",
+    "get_default_backend",
+    "set_default_backend",
     "EdgeUpdate",
     "GraphDelta",
     "PeelingResult",

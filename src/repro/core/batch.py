@@ -67,9 +67,10 @@ def insert_batch(state: PeelingState, batch: BatchInput) -> ReorderStats:
 
     graph = state.graph
     semantics = state.semantics
+    interner = graph.interner
 
     added = 0.0
-    seeds: List[Vertex] = []
+    seed_ids: List[int] = []
     seen_seeds = set()
 
     # Pass 1: create any new vertices so every endpoint has a position.
@@ -77,27 +78,25 @@ def insert_batch(state: PeelingState, batch: BatchInput) -> ReorderStats:
         for vertex, prior in ((update.src, update.src_weight), (update.dst, update.dst_weight)):
             if graph.has_vertex(vertex):
                 continue
-            weight = float(prior) if prior else semantics.vertex_weight(vertex, graph)
+            weight = float(prior) if prior is not None else semantics.vertex_weight(vertex, graph)
             graph.add_vertex(vertex, weight)
-            state.prepend_vertex(vertex, weight)
+            vid = state.prepend_vertex(vertex, weight)
             added += weight
-            if vertex not in seen_seeds:
-                seen_seeds.add(vertex)
-                seeds.append(vertex)
+            if vid not in seen_seeds:
+                seen_seeds.add(vid)
+                seed_ids.append(vid)
 
     # Pass 2: apply the edges and collect the earlier endpoint of each.
     for update in updates:
         edge_weight = semantics.edge_weight(update.src, update.dst, update.weight, graph)
         graph.add_edge(update.src, update.dst, edge_weight)
         added += edge_weight
-        earlier = (
-            update.src
-            if state.position(update.src) <= state.position(update.dst)
-            else update.dst
-        )
+        src_id = interner.id_of(update.src)
+        dst_id = interner.id_of(update.dst)
+        earlier = src_id if state.position_id(src_id) <= state.position_id(dst_id) else dst_id
         if earlier not in seen_seeds:
             seen_seeds.add(earlier)
-            seeds.append(earlier)
+            seed_ids.append(earlier)
 
     state.add_total(added)
-    return reorder_after_insertions(state, seeds)
+    return reorder_after_insertions(state, seed_ids=seed_ids)

@@ -21,46 +21,53 @@ This preserves the incremental flavour — the untouched prefix is usually
 the bulk of the sequence — while avoiding the subtle bookkeeping of a
 bidirectional pending queue.  The same routine also powers mixed
 insert/delete maintenance for the time-window detector (Appendix C.3).
+
+Like the insertion paths, :func:`delete_edges` returns a
+:class:`~repro.core.reorder.ReorderStats` so callers (``Spade.last_stats``,
+benchmarks) get uniform cost accounting; the deletion-specific counter is
+``repeeled_positions``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
+from repro.core.reorder import ReorderStats
 from repro.core.state import PeelingState
 from repro.graph.graph import Vertex
-from repro.peeling.static import peel_subset
+from repro.peeling.static import peel_subset_ids
 
 __all__ = ["delete_edges", "safe_prefix_bound", "repeel_suffix"]
 
 
-def safe_prefix_bound(state: PeelingState, lightened: Sequence[Tuple[Vertex, float]]) -> int:
+def safe_prefix_bound(state: PeelingState, lightened: Iterable[Tuple[Vertex, float]]) -> int:
     """Return the first sequence position that may be affected by deletions.
 
     ``lightened`` lists ``(vertex, removed_weight)`` pairs for every vertex
     that lost incident weight.  Positions ``[0, bound)`` are guaranteed to
     be unaffected; the suffix from ``bound`` must be re-peeled.
     """
+    lightened = list(lightened)
     if not lightened:
-        return len(state.order)
+        return len(state)
     removed_per_vertex: dict = {}
     for vertex, removed in lightened:
         removed_per_vertex[vertex] = removed_per_vertex.get(vertex, 0.0) + removed
     floor = float("inf")
+    weights = state.weights
     for vertex, removed in removed_per_vertex.items():
         if vertex not in state:
             continue
         position = state.position(vertex)
-        floor = min(floor, float(state.weights[position]) - removed)
+        floor = min(floor, float(weights[position]) - removed)
     if floor == float("inf"):
-        return len(state.order)
-    weights = state.weights
+        return len(state)
     # First position whose recorded weight reaches the floor (conservative:
     # ties count as affected).
     above = np.nonzero(weights >= floor - 1e-12)[0]
-    return int(above[0]) if len(above) else len(state.order)
+    return int(above[0]) if len(above) else len(state)
 
 
 def repeel_suffix(state: PeelingState, start: int) -> int:
@@ -68,20 +75,20 @@ def repeel_suffix(state: PeelingState, start: int) -> int:
 
     Returns the number of re-peeled vertices (the affected area).
     """
-    suffix = state.order[start:]
-    if not suffix:
+    suffix_ids = state.order_ids[start:]
+    if len(suffix_ids) == 0:
         state.invalidate()
         return 0
-    result = peel_subset(state.graph, set(suffix), semantics_name=state.semantics.name)
-    state.write_segment(start, list(result.order), list(result.weights))
-    return len(suffix)
+    order_ids, weights, _total = peel_subset_ids(state.graph, suffix_ids)
+    state.write_segment_ids(start, order_ids, np.asarray(weights, dtype=np.float64))
+    return len(suffix_ids)
 
 
 def delete_edges(
     state: PeelingState,
     edges: Iterable[Tuple[Vertex, Vertex]],
     prune_isolated: bool = False,
-) -> int:
+) -> ReorderStats:
     """Delete edges from the graph and restore a valid peeling sequence.
 
     Parameters
@@ -97,12 +104,15 @@ def delete_edges(
 
     Returns
     -------
-    int
-        The number of re-peeled sequence positions (0 when nothing known
-        was deleted).
+    ReorderStats
+        Cost accounting for the pass: ``repeeled_positions`` counts the
+        suffix positions re-peeled (0 when nothing known was deleted) and
+        ``moved_vertices`` the positions whose vertex or weight actually
+        changed.
     """
     del prune_isolated  # vertices always stay, matching the paper's model
     graph = state.graph
+    stats = ReorderStats()
     lightened: List[Tuple[Vertex, float]] = []
     removed_total = 0.0
     for src, dst in edges:
@@ -113,7 +123,21 @@ def delete_edges(
         lightened.append((src, weight))
         lightened.append((dst, weight))
     if not lightened:
-        return 0
+        return stats
     state.add_total(-removed_total)
     bound = safe_prefix_bound(state, lightened)
-    return repeel_suffix(state, bound)
+
+    before_ids = state.order_ids[bound:].copy()
+    before_weights = state.weights[bound:].copy()
+    repeeled = repeel_suffix(state, bound)
+    stats.repeeled_positions = repeeled
+    stats.scanned_positions = repeeled
+    if repeeled:
+        stats.islands = 1
+        stats.moved_vertices = int(
+            np.count_nonzero(
+                (state.order_ids[bound:] != before_ids)
+                | (state.weights[bound:] != before_weights)
+            )
+        )
+    return stats

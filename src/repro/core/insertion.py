@@ -55,16 +55,15 @@ def insert_edge(
     semantics = state.semantics
 
     added_suspiciousness = 0.0
-    seeds = []
+    seed_ids = []
 
     for vertex, prior in ((src, src_prior), (dst, dst_prior)):
         if graph.has_vertex(vertex):
             continue
         vertex_weight = float(prior) if prior is not None else semantics.vertex_weight(vertex, graph)
         graph.add_vertex(vertex, vertex_weight)
-        state.prepend_vertex(vertex, vertex_weight)
+        seed_ids.append(state.prepend_vertex(vertex, vertex_weight))
         added_suspiciousness += vertex_weight
-        seeds.append(vertex)
 
     edge_weight = semantics.edge_weight(src, dst, raw_weight, graph)
     graph.add_edge(src, dst, edge_weight)
@@ -72,9 +71,10 @@ def insert_edge(
     state.add_total(added_suspiciousness)
 
     # Lemma 4.1: only the suffix starting at the earlier endpoint can change.
-    src_pos, dst_pos = state.position(src), state.position(dst)
-    earlier = src if src_pos <= dst_pos else dst
-    if earlier not in seeds:
-        seeds.append(earlier)
+    interner = graph.interner
+    src_id, dst_id = interner.id_of(src), interner.id_of(dst)
+    earlier = src_id if state.position_id(src_id) <= state.position_id(dst_id) else dst_id
+    if earlier not in seed_ids:
+        seed_ids.append(earlier)
 
-    return reorder_after_insertions(state, seeds)
+    return reorder_after_insertions(state, seed_ids=seed_ids)

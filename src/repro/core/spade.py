@@ -46,6 +46,7 @@ from repro.core.insertion import insert_edge as _insert_edge
 from repro.core.reorder import ReorderStats
 from repro.core.state import Community, PeelingState
 from repro.errors import StateError
+from repro.graph.backend import backend_of, convert_graph, get_default_backend
 from repro.graph.delta import EdgeUpdate
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.result import PeelingResult
@@ -74,14 +75,23 @@ class Spade:
         When true, benign edges are buffered and only urgent edges trigger
         reordering (Section 4.3).  Can also be toggled later with
         :meth:`enable_edge_grouping`.
+    backend:
+        Graph backend name — ``"dict"`` (label-keyed adjacency dicts) or
+        ``"array"`` (interned ids over numpy edge pools, the fast path).
+        ``None`` uses the process default
+        (:func:`repro.graph.backend.get_default_backend`).  When set
+        explicitly, :meth:`load_graph` converts an adopted graph of a
+        different backend.
     """
 
     def __init__(
         self,
         semantics: Optional[PeelingSemantics] = None,
         edge_grouping: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self._semantics = semantics or dg_semantics()
+        self._backend = backend
         self._state: Optional[PeelingState] = None
         self._grouper: Optional[EdgeGrouper] = None
         self._grouping_enabled = edge_grouping
@@ -135,12 +145,23 @@ class Spade:
     # ------------------------------------------------------------------ #
     # Graph loading
     # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """The graph backend this engine uses (resolved)."""
+        if self._state is not None:
+            return backend_of(self._state.graph)
+        return self._backend or get_default_backend()
+
     def load_graph(self, graph: DynamicGraph) -> PeelingResult:
         """Adopt an already-weighted graph and run the initial static peel.
 
         The graph is owned by the engine afterwards and mutated in place as
-        updates arrive.
+        updates arrive.  When the engine was constructed with an explicit
+        ``backend`` that differs from the graph's, the graph is converted
+        (copied) into that backend first.
         """
+        if self._backend is not None and backend_of(graph) != self._backend:
+            graph = convert_graph(graph, self._backend)
         self._state = PeelingState(graph, self._semantics)
         if self._grouping_enabled:
             self._grouper = EdgeGrouper(self._state)
@@ -156,7 +177,9 @@ class Spade:
         ``edges`` are ``(src, dst)`` or ``(src, dst, raw_weight)`` tuples;
         the semantics converts raw weights into suspiciousness.
         """
-        graph = self._semantics.materialize(edges, vertex_priors=vertex_priors)
+        graph = self._semantics.materialize(
+            edges, vertex_priors=vertex_priors, backend=self.backend
+        )
         return self.load_graph(graph)
 
     # ------------------------------------------------------------------ #
@@ -231,9 +254,13 @@ class Spade:
         return state.community()
 
     def delete_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> Community:
-        """Delete outdated transactions (Appendix C.1) and return the community."""
+        """Delete outdated transactions (Appendix C.1) and return the community.
+
+        Like the insert paths, the cost of the maintenance pass is recorded
+        in :attr:`last_stats` (see ``ReorderStats.repeeled_positions``).
+        """
         state = self.state
-        delete_edges(state, edges)
+        self.last_stats = delete_edges(state, edges)
         return state.community()
 
     def flush_pending(self) -> Community:

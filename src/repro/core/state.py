@@ -8,33 +8,44 @@ algorithm in :mod:`repro.core` operates on.
 
 Implementation notes
 --------------------
-* ``order`` is a plain Python list; ``weights`` is a ``numpy.float64``
-  array aligned with it, which makes the suffix-density scan used by
-  :meth:`PeelingState.community` a handful of vectorised operations instead
-  of a Python loop.
-* Vertex positions are kept in a dictionary of *raw* indices plus a global
-  offset, so that prepending new vertices to the head of the sequence
-  (the paper's rule for vertex insertion) does not require renumbering
-  every existing vertex.
+* The sequence is stored as a dense ``int32`` id array (ids assigned by the
+  graph backend's :class:`~repro.graph.interning.VertexInterner`), aligned
+  with a ``float64`` weight array.  Both live inside a shared buffer with
+  *head-room*: the paper's rule for vertex insertion prepends new vertices
+  to the head of the sequence, and the head-room turns that prepend into an
+  O(1)-amortized pointer decrement instead of an ``np.concatenate`` copy.
+* Vertex positions are a numpy ``int64`` array indexed by dense id holding
+  *buffer* indices, so a prepend shifts every logical position by one
+  without renumbering anything, and the reorder engine can gather the
+  positions of a whole neighbourhood with one fancy-index.
 * Tie-breaking between equal peeling weights uses the order in which
-  vertices entered the graph — the same rule as the static algorithm in
-  :mod:`repro.peeling.static` — so that the incrementally maintained
-  sequence is *identical* to a from-scratch run, not merely equivalent.
+  vertices entered the graph — which is exactly the dense id — so the
+  incrementally maintained sequence is *identical* to a from-scratch run,
+  not merely equivalent.
+
+The label-facing API (``order``, ``position``, ``write_segment``, …) is
+unchanged from the dict-era state; the ``*_id`` twins expose the dense-id
+surface the hot paths use.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Mapping
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import StateError
-from repro.graph.graph import DynamicGraph, Vertex
+from repro.graph.graph import Vertex
+from repro.graph.interning import VertexInterner
 from repro.peeling.result import PeelingResult
 from repro.peeling.semantics import PeelingSemantics
 from repro.peeling.static import peel
 
 __all__ = ["PeelingState", "Community"]
+
+#: Initial head-room reserved for prepends in front of the sequence.
+_INITIAL_HEADROOM = 32
 
 
 class Community(Tuple[FrozenSet[Vertex], float, int]):
@@ -64,14 +75,37 @@ class Community(Tuple[FrozenSet[Vertex], float, int]):
         return vertex in self[0]
 
 
+class _TieBreakView(Mapping):
+    """Read-only mapping view ``label -> tie-break index`` over the interner.
+
+    The tie-break index of a vertex *is* its dense id, so this view simply
+    re-exposes the interner under the historical ``state.tie_break`` name.
+    """
+
+    __slots__ = ("_interner",)
+
+    def __init__(self, interner: VertexInterner) -> None:
+        self._interner = interner
+
+    def __getitem__(self, label: Vertex) -> int:
+        return self._interner.id_of(label)
+
+    def __len__(self) -> int:
+        return len(self._interner)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._interner)
+
+
 class PeelingState:
     """The incrementally maintained peeling sequence over a weighted graph.
 
     Parameters
     ----------
     graph:
-        The weighted graph ``G`` (owned by the caller; mutated in place as
-        updates arrive).
+        The weighted graph ``G`` — any
+        :class:`~repro.graph.backend.GraphBackend` (owned by the caller;
+        mutated in place as updates arrive).
     semantics:
         The peeling semantics that weighted the graph; used for labelling
         and for weighting future updates.
@@ -83,7 +117,7 @@ class PeelingState:
 
     def __init__(
         self,
-        graph: DynamicGraph,
+        graph,
         semantics: PeelingSemantics,
         result: Optional[PeelingResult] = None,
     ) -> None:
@@ -96,13 +130,80 @@ class PeelingState:
                 "peeling result does not cover the graph: "
                 f"{len(result.order)} sequence entries vs {graph.num_vertices()} vertices"
             )
-        self.order: List[Vertex] = list(result.order)
-        self.weights: np.ndarray = np.array(result.weights, dtype=np.float64)
+        interner = graph.interner
+        n = len(result.order)
+        head = _INITIAL_HEADROOM
+        capacity = head + n
+        self._order_buf = np.empty(capacity, dtype=np.int32)
+        self._weights_buf = np.empty(capacity, dtype=np.float64)
+        self._head = head
+        self._tail = head + n
+        if n:
+            ids = interner.ids_for(result.order)
+            self._order_buf[head : head + n] = ids
+            self._weights_buf[head : head + n] = np.asarray(result.weights, dtype=np.float64)
+        self._pos_buf = np.full(max(len(interner), 1), -1, dtype=np.int64)
+        if n:
+            self._pos_buf[self._order_buf[head : head + n]] = np.arange(head, head + n)
         self.total: float = float(result.total_suspiciousness)
-        self._offset: int = 0
-        self._raw_pos: Dict[Vertex, int] = {v: i for i, v in enumerate(self.order)}
-        self.tie_break: Dict[Vertex, int] = {v: i for i, v in enumerate(graph.vertices())}
         self._community_cache: Optional[Community] = None
+        self._touched_scratch: Optional[np.ndarray] = None
+        self._inq_scratch: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Interner plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def interner(self) -> VertexInterner:
+        """The label ↔ dense-id interner shared with the graph."""
+        return self.graph.interner
+
+    @property
+    def tie_break(self) -> Mapping:
+        """Mapping view ``label -> tie-break index`` (the dense id)."""
+        return _TieBreakView(self.graph.interner)
+
+    def _ensure_pos_capacity(self, vid: int) -> None:
+        if vid >= len(self._pos_buf):
+            grown = np.full(max(16, 2 * len(self._pos_buf), vid + 1), -1, dtype=np.int64)
+            grown[: len(self._pos_buf)] = self._pos_buf
+            self._pos_buf = grown
+
+    def reorder_masks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the persistent ``(touched, in_queue)`` scratch masks.
+
+        Owned by the state so a maintenance pass costs O(affected area),
+        not O(|V|): the reorder engine borrows these id-indexed boolean
+        arrays and must leave every entry ``False`` when it returns (it
+        resets exactly the entries it set).  Grown to the interner's
+        current capacity on demand.
+        """
+        capacity = max(len(self.graph.interner), 1)
+        if self._touched_scratch is None or len(self._touched_scratch) < capacity:
+            grown_capacity = max(16, capacity)
+            if self._touched_scratch is not None:
+                grown_capacity = max(grown_capacity, 2 * len(self._touched_scratch))
+            self._touched_scratch = np.zeros(grown_capacity, dtype=bool)
+            self._inq_scratch = np.zeros(grown_capacity, dtype=bool)
+        return self._touched_scratch, self._inq_scratch
+
+    # ------------------------------------------------------------------ #
+    # Sequence views
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> List[Vertex]:
+        """The peeling sequence as original vertex labels (materialised)."""
+        return self.graph.interner.labels_for(self._order_buf[self._head : self._tail])
+
+    @property
+    def order_ids(self) -> np.ndarray:
+        """The peeling sequence as dense ids (a live view — do not mutate)."""
+        return self._order_buf[self._head : self._tail]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The peeling weights ``Δ`` (a live, writable view)."""
+        return self._weights_buf[self._head : self._tail]
 
     # ------------------------------------------------------------------ #
     # Positions
@@ -110,43 +211,81 @@ class PeelingState:
     def position(self, vertex: Vertex) -> int:
         """Return the current 0-based position of ``vertex`` in the sequence."""
         try:
-            return self._raw_pos[vertex] + self._offset
+            vid = self.graph.interner.id_of(vertex)
         except KeyError:
             raise StateError(f"vertex {vertex!r} is not in the peeling sequence") from None
+        return self.position_id(vid)
+
+    def position_id(self, vid: int) -> int:
+        """Return the current 0-based position of the vertex with id ``vid``."""
+        raw = self._pos_buf[vid] if 0 <= vid < len(self._pos_buf) else -1
+        if raw < 0:
+            label = self.graph.interner.label_of(vid) if vid >= 0 else vid
+            raise StateError(f"vertex {label!r} is not in the peeling sequence")
+        return int(raw - self._head)
 
     def set_position(self, vertex: Vertex, position: int) -> None:
         """Record that ``vertex`` now sits at ``position`` (used by reorders)."""
-        self._raw_pos[vertex] = position - self._offset
+        vid = self.graph.interner.id_of(vertex)
+        self._ensure_pos_capacity(vid)
+        self._pos_buf[vid] = position + self._head
 
     def __len__(self) -> int:
-        return len(self.order)
+        return self._tail - self._head
 
     def __contains__(self, vertex: Vertex) -> bool:
-        return vertex in self._raw_pos
+        vid = self.graph.interner.get_id(vertex)
+        return self.contains_id(vid)
+
+    def contains_id(self, vid: int) -> bool:
+        """Return whether the vertex with id ``vid`` is in the sequence."""
+        return 0 <= vid < len(self._pos_buf) and self._pos_buf[vid] >= 0
 
     # ------------------------------------------------------------------ #
     # Mutations
     # ------------------------------------------------------------------ #
-    def register_vertex(self, vertex: Vertex) -> None:
-        """Assign a tie-break index to a vertex newly added to the graph."""
-        if vertex not in self.tie_break:
-            self.tie_break[vertex] = len(self.tie_break)
+    def register_vertex(self, vertex: Vertex) -> int:
+        """Assign a tie-break index (dense id) to a newly seen vertex."""
+        vid = self.graph.interner.intern(vertex)
+        self._ensure_pos_capacity(vid)
+        return vid
 
-    def prepend_vertex(self, vertex: Vertex, weight: float) -> None:
+    def prepend_vertex(self, vertex: Vertex, weight: float) -> int:
         """Insert a brand-new vertex at the head of the peeling sequence.
 
         This is the paper's rule for vertex insertion (Section 4.1): the new
         vertex starts at the head; the subsequent edge reordering moves it to
-        the position its peeling weight deserves.
+        the position its peeling weight deserves.  O(1) amortized thanks to
+        the head-room buffer.  Returns the dense id of the vertex.
         """
-        if vertex in self._raw_pos:
+        vid = self.register_vertex(vertex)
+        if self.contains_id(vid):
             raise StateError(f"vertex {vertex!r} is already in the peeling sequence")
-        self.order.insert(0, vertex)
-        self.weights = np.concatenate(([float(weight)], self.weights))
-        self._offset += 1
-        self._raw_pos[vertex] = -self._offset
-        self.register_vertex(vertex)
+        if self._head == 0:
+            self._grow_headroom()
+        self._head -= 1
+        self._order_buf[self._head] = vid
+        self._weights_buf[self._head] = float(weight)
+        self._pos_buf[vid] = self._head
         self.invalidate()
+        return vid
+
+    def _grow_headroom(self) -> None:
+        """Reallocate the sequence buffers with fresh head-room in front."""
+        n = self._tail - self._head
+        head = max(_INITIAL_HEADROOM, n // 2)
+        capacity = head + n
+        order = np.empty(capacity, dtype=np.int32)
+        weights = np.empty(capacity, dtype=np.float64)
+        order[head : head + n] = self._order_buf[self._head : self._tail]
+        weights[head : head + n] = self._weights_buf[self._head : self._tail]
+        shift = head - self._head
+        live = self._pos_buf >= 0
+        self._pos_buf[live] += shift
+        self._order_buf = order
+        self._weights_buf = weights
+        self._head = head
+        self._tail = head + n
 
     def write_segment(
         self,
@@ -155,15 +294,29 @@ class PeelingState:
         weights: Sequence[float],
     ) -> None:
         """Overwrite the sequence segment ``[start, start + len(vertices))``."""
-        end = start + len(vertices)
-        if end > len(self.order):
+        interner = self.graph.interner
+        ids = np.fromiter(
+            (interner.id_of(v) for v in vertices), dtype=np.int32, count=len(vertices)
+        )
+        self.write_segment_ids(start, ids, np.asarray(weights, dtype=np.float64))
+
+    def write_segment_ids(
+        self,
+        start: int,
+        ids: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Id-based :meth:`write_segment` used by the reorder hot path."""
+        end = start + len(ids)
+        if end > len(self):
             raise StateError(
-                f"segment [{start}, {end}) exceeds the sequence length {len(self.order)}"
+                f"segment [{start}, {end}) exceeds the sequence length {len(self)}"
             )
-        self.order[start:end] = list(vertices)
-        self.weights[start:end] = np.asarray(weights, dtype=np.float64)
-        for index, vertex in enumerate(vertices, start=start):
-            self.set_position(vertex, index)
+        a = self._head + start
+        b = self._head + end
+        self._order_buf[a:b] = ids
+        self._weights_buf[a:b] = weights
+        self._pos_buf[self._order_buf[a:b]] = np.arange(a, b)
         self.invalidate()
 
     def add_total(self, amount: float) -> None:
@@ -193,25 +346,28 @@ class PeelingState:
         """
         if self._community_cache is not None:
             return self._community_cache
-        n = len(self.order)
+        n = len(self)
         if n == 0:
             self._community_cache = Community(frozenset(), 0.0, 0)
             return self._community_cache
-        prefix = np.concatenate(([0.0], np.cumsum(self.weights)[:-1]))
+        weights = self.weights
+        prefix = np.concatenate(([0.0], np.cumsum(weights)[:-1]))
         remaining = self.total - prefix
         sizes = np.arange(n, 0, -1, dtype=np.float64)
         densities = remaining / sizes
         best = int(np.argmax(densities))
-        community = Community(frozenset(self.order[best:]), float(densities[best]), best)
+        members = self.graph.interner.labels_for(self._order_buf[self._head + best : self._tail])
+        community = Community(frozenset(members), float(densities[best]), best)
         self._community_cache = community
         return community
 
     def density_profile(self) -> np.ndarray:
         """Return ``[g(S_0), ..., g(S_{n-1})]`` as a numpy array."""
-        n = len(self.order)
+        n = len(self)
         if n == 0:
             return np.zeros(0)
-        prefix = np.concatenate(([0.0], np.cumsum(self.weights)[:-1]))
+        weights = self.weights
+        prefix = np.concatenate(([0.0], np.cumsum(weights)[:-1]))
         return (self.total - prefix) / np.arange(n, 0, -1, dtype=np.float64)
 
     def as_result(self) -> PeelingResult:
@@ -233,16 +389,17 @@ class PeelingState:
         Intended for tests and debugging: checks position-index alignment
         and the telescoping identity ``sum(Δ) == f(V)``.
         """
-        if len(self.order) != len(self.weights):
+        if len(self.order_ids) != len(self.weights):
             raise StateError("order and weights arrays are misaligned")
-        if len(self.order) != self.graph.num_vertices():
+        if len(self) != self.graph.num_vertices():
             raise StateError(
-                f"sequence covers {len(self.order)} vertices but the graph has "
+                f"sequence covers {len(self)} vertices but the graph has "
                 f"{self.graph.num_vertices()}"
             )
-        for index, vertex in enumerate(self.order):
-            if self.position(vertex) != index:
-                raise StateError(f"position index for {vertex!r} is stale")
+        for index, vid in enumerate(self.order_ids.tolist()):
+            if self.position_id(vid) != index:
+                label = self.graph.interner.label_of(vid)
+                raise StateError(f"position index for {label!r} is stale")
         drift = abs(float(np.sum(self.weights)) - self.total)
         scale = max(1.0, abs(self.total))
         if drift > tolerance * scale:
@@ -253,6 +410,6 @@ class PeelingState:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"PeelingState({self.semantics.name}, |V|={len(self.order)}, "
+            f"PeelingState({self.semantics.name}, |V|={len(self)}, "
             f"f(V)={self.total:.3f})"
         )

@@ -56,12 +56,16 @@ class TimeWindowDetector:
         timestamp (an exception is raised otherwise).
     semantics:
         The peeling semantics used to weight edges.
+    backend:
+        Graph backend used when a window is (re)materialised
+        (``"dict"`` / ``"array"``; ``None`` = process default).
     """
 
     def __init__(
         self,
         history: Sequence[Tuple[float, EdgeUpdate]],
         semantics: PeelingSemantics,
+        backend: Optional[str] = None,
     ) -> None:
         timestamps = [t for t, _u in history]
         if any(b < a for a, b in zip(timestamps, timestamps[1:])):
@@ -69,6 +73,7 @@ class TimeWindowDetector:
         self._timestamps: List[float] = list(timestamps)
         self._updates: List[EdgeUpdate] = [u for _t, u in history]
         self._semantics = semantics
+        self._backend = backend
         self._window: Optional[Tuple[float, float]] = None
         self._state: Optional[PeelingState] = None
 
@@ -98,7 +103,7 @@ class TimeWindowDetector:
         """Case 1 (or first use): materialise the window from scratch."""
         updates = self._slice(start, end)
         graph = self._semantics.materialize(
-            [(u.src, u.dst, u.weight) for u in updates]
+            [(u.src, u.dst, u.weight) for u in updates], backend=self._backend
         )
         self._state = PeelingState(graph, self._semantics)
         self._window = (start, end)

@@ -25,6 +25,20 @@ class UnknownVertexError(GraphError):
         self.vertex = vertex
 
 
+class UnknownEdgeError(GraphError):
+    """An operation referenced a directed edge that is not part of the graph.
+
+    Carries the endpoints separately (``src`` / ``dst``) so callers can log
+    or retry with structured information instead of parsing a tuple out of a
+    vertex error.
+    """
+
+    def __init__(self, src: object, dst: object) -> None:
+        super().__init__(f"edge ({src!r} -> {dst!r}) is not part of the graph")
+        self.src = src
+        self.dst = dst
+
+
 class DuplicateVertexError(GraphError):
     """A vertex was added twice with conflicting attributes."""
 

@@ -14,12 +14,32 @@ on.  It provides:
   used by the evaluation (Figure 9b).
 """
 
+from repro.graph.array_graph import ArrayGraph
+from repro.graph.backend import (
+    BACKENDS,
+    GraphBackend,
+    backend_of,
+    convert_graph,
+    create_graph,
+    get_default_backend,
+    set_default_backend,
+)
 from repro.graph.delta import EdgeUpdate, GraphDelta
 from repro.graph.graph import DynamicGraph
+from repro.graph.interning import VertexInterner
 from repro.graph.views import InducedSubgraph, induced_subgraph
 from repro.graph.stats import DegreeDistribution, GraphStats, compute_stats, degree_distribution
 
 __all__ = [
+    "ArrayGraph",
+    "BACKENDS",
+    "GraphBackend",
+    "VertexInterner",
+    "backend_of",
+    "convert_graph",
+    "create_graph",
+    "get_default_backend",
+    "set_default_backend",
     "DynamicGraph",
     "EdgeUpdate",
     "GraphDelta",

@@ -36,7 +36,10 @@ class EdgeUpdate:
         weight is ignored and recomputed by the engine at insertion time.
     src_weight, dst_weight:
         Optional vertex suspiciousness priors carried with the update
-        ("side information" in Fraudar's terms).
+        ("side information" in Fraudar's terms).  ``None`` means "not
+        specified" — the engine then asks the semantics' ``vsusp`` for
+        the prior — while an explicit value (including ``0.0``) is
+        honoured as-is.
     delete:
         When true the update removes the edge instead of inserting it
         (Appendix C.1).
@@ -45,8 +48,8 @@ class EdgeUpdate:
     src: Vertex
     dst: Vertex
     weight: float = 1.0
-    src_weight: float = 0.0
-    dst_weight: float = 0.0
+    src_weight: Optional[float] = None
+    dst_weight: Optional[float] = None
     delete: bool = False
 
     @property

@@ -28,12 +28,42 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
 
-from repro.errors import InvalidWeightError, UnknownVertexError
+import numpy as np
+
+from repro.errors import InvalidWeightError, UnknownEdgeError, UnknownVertexError
+from repro.graph.interning import VertexInterner
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
-__all__ = ["Vertex", "Edge", "DynamicGraph"]
+__all__ = ["Vertex", "Edge", "DynamicGraph", "populate_graph"]
+
+
+def populate_graph(
+    graph,
+    vertices: Optional[Iterable[object]] = None,
+    edges: Optional[Iterable[tuple]] = None,
+) -> None:
+    """Apply the constructor arguments shared by every graph backend.
+
+    ``vertices`` may mix bare labels and ``(vertex, weight)`` pairs;
+    ``edges`` are ``(src, dst)`` or ``(src, dst, weight)`` tuples.  Kept
+    in one place so all backends accept exactly the same input shapes.
+    """
+    if vertices is not None:
+        for item in vertices:
+            if isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], (int, float)):
+                graph.add_vertex(item[0], float(item[1]))
+            else:
+                graph.add_vertex(item)
+    if edges is not None:
+        for item in edges:
+            if len(item) == 2:
+                graph.add_edge(item[0], item[1])
+            elif len(item) == 3:
+                graph.add_edge(item[0], item[1], float(item[2]))
+            else:
+                raise ValueError(f"edge tuple must have 2 or 3 elements, got {item!r}")
 
 
 class DynamicGraph:
@@ -61,7 +91,17 @@ class DynamicGraph:
     3.0
     """
 
-    __slots__ = ("_out", "_in", "_vertex_weight", "_num_edges", "_total_edge_weight")
+    __slots__ = (
+        "_out",
+        "_in",
+        "_vertex_weight",
+        "_num_edges",
+        "_total_edge_weight",
+        "_interner",
+    )
+
+    #: Backend name used by :mod:`repro.graph.backend` to select this class.
+    backend_name = "dict"
 
     def __init__(
         self,
@@ -73,21 +113,8 @@ class DynamicGraph:
         self._vertex_weight: Dict[Vertex, float] = {}
         self._num_edges: int = 0
         self._total_edge_weight: float = 0.0
-
-        if vertices is not None:
-            for item in vertices:
-                if isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], (int, float)):
-                    self.add_vertex(item[0], float(item[1]))
-                else:
-                    self.add_vertex(item)
-        if edges is not None:
-            for item in edges:
-                if len(item) == 2:
-                    self.add_edge(item[0], item[1])
-                elif len(item) == 3:
-                    self.add_edge(item[0], item[1], float(item[2]))
-                else:
-                    raise ValueError(f"edge tuple must have 2 or 3 elements, got {item!r}")
+        self._interner = VertexInterner()
+        populate_graph(self, vertices, edges)
 
     # ------------------------------------------------------------------ #
     # Vertices
@@ -108,6 +135,7 @@ class DynamicGraph:
         self._vertex_weight[vertex] = float(weight)
         self._out[vertex] = {}
         self._in[vertex] = {}
+        self._interner.intern(vertex)
 
     def set_vertex_weight(self, vertex: Vertex, weight: float) -> None:
         """Overwrite the suspiciousness prior of an existing vertex."""
@@ -178,7 +206,7 @@ class DynamicGraph:
         transactions) and by dense-subgraph enumeration.
         """
         if src not in self._out or dst not in self._out[src]:
-            raise UnknownVertexError((src, dst))
+            raise UnknownEdgeError(src, dst)
         weight = self._out[src].pop(dst)
         del self._in[dst][src]
         self._num_edges -= 1
@@ -194,7 +222,7 @@ class DynamicGraph:
         try:
             return self._out[src][dst]
         except KeyError:
-            raise UnknownVertexError((src, dst)) from None
+            raise UnknownEdgeError(src, dst) from None
 
     def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
         """Iterate over ``(src, dst, weight)`` triples."""
@@ -277,6 +305,68 @@ class DynamicGraph:
         return total
 
     # ------------------------------------------------------------------ #
+    # Dense-id (interned) accessors — the GraphBackend hot-path surface
+    # ------------------------------------------------------------------ #
+    @property
+    def interner(self) -> VertexInterner:
+        """The label ↔ dense-id interner owned by this graph."""
+        return self._interner
+
+    def vertex_ids(self) -> np.ndarray:
+        """Return the dense ids of all vertices, in graph insertion order."""
+        id_of = self._interner._id_of
+        return np.fromiter(
+            (id_of[v] for v in self._vertex_weight),
+            dtype=np.int32,
+            count=len(self._vertex_weight),
+        )
+
+    def has_vertex_id(self, vid: int) -> bool:
+        """Return whether the vertex with dense id ``vid`` is in the graph."""
+        labels = self._interner._labels
+        return 0 <= vid < len(labels) and labels[vid] in self._vertex_weight
+
+    def vertex_weight_id(self, vid: int) -> float:
+        """Return the prior ``a_i`` of the vertex with dense id ``vid``."""
+        return self.vertex_weight(self._interner.label_of(vid))
+
+    def degree_id(self, vid: int) -> int:
+        """Return the total degree of the vertex with dense id ``vid``."""
+        return self.degree(self._interner.label_of(vid))
+
+    def incident_weight_id(self, vid: int) -> float:
+        """Return the summed incident weight of the vertex with id ``vid``."""
+        return self.incident_weight(self._interner.label_of(vid))
+
+    def incident_arrays_id(self, vid: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, weights)`` arrays of all incident edges.
+
+        Out-edges come first (in insertion order), then in-edges, matching
+        :meth:`incident_items`.  A neighbour connected in both directions
+        appears twice.  Per the :class:`~repro.graph.backend.GraphBackend`
+        contract the arrays are only guaranteed valid until the next call
+        on the same graph — copy to retain (this backend happens to
+        allocate fresh arrays, but callers must not rely on that).
+        """
+        label = self._interner.label_of(vid)
+        out = self._out[label]
+        inn = self._in[label]
+        n = len(out) + len(inn)
+        ids = np.empty(n, dtype=np.int32)
+        weights = np.empty(n, dtype=np.float64)
+        id_of = self._interner._id_of
+        i = 0
+        for nbr, weight in out.items():
+            ids[i] = id_of[nbr]
+            weights[i] = weight
+            i += 1
+        for nbr, weight in inn.items():
+            ids[i] = id_of[nbr]
+            weights[i] = weight
+            i += 1
+        return ids, weights
+
+    # ------------------------------------------------------------------ #
     # Whole-graph helpers
     # ------------------------------------------------------------------ #
     def total_suspiciousness(self) -> float:
@@ -291,6 +381,7 @@ class DynamicGraph:
         clone._in = {u: dict(nbrs) for u, nbrs in self._in.items()}
         clone._num_edges = self._num_edges
         clone._total_edge_weight = self._total_edge_weight
+        clone._interner = self._interner.copy()
         return clone
 
     def __contains__(self, vertex: Vertex) -> bool:
@@ -317,3 +408,17 @@ class DynamicGraph:
     def from_edges(cls, edges: Iterable[tuple]) -> "DynamicGraph":
         """Build a graph from an iterable of edge tuples."""
         return cls(edges=edges)
+
+    @classmethod
+    def from_graph(cls, graph) -> "DynamicGraph":
+        """Replay another backend's vertices and edges into a dict graph.
+
+        Vertices are replayed in insertion order, so the dense ids (and
+        with them the peeling tie-break order) match the source graph.
+        """
+        clone = cls()
+        for vertex in graph.vertices():
+            clone.add_vertex(vertex, graph.vertex_weight(vertex))
+        for src, dst, weight in graph.edges():
+            clone.add_edge(src, dst, weight)
+        return clone

@@ -122,8 +122,13 @@ class PeelingSemantics:
             )
         return value
 
-    def materialize(self, edges, vertex_priors: Optional[Mapping[Vertex, float]] = None) -> DynamicGraph:
-        """Build a weighted :class:`DynamicGraph` from raw transaction edges.
+    def materialize(
+        self,
+        edges,
+        vertex_priors: Optional[Mapping[Vertex, float]] = None,
+        backend: Optional[str] = None,
+    ) -> DynamicGraph:
+        """Build a weighted graph from raw transaction edges.
 
         Parameters
         ----------
@@ -131,12 +136,17 @@ class PeelingSemantics:
             Iterable of ``(src, dst)`` or ``(src, dst, raw_weight)`` tuples.
         vertex_priors:
             Optional side-information priors overriding ``vsusp``.
+        backend:
+            Graph backend name (``"dict"`` / ``"array"``); ``None`` uses the
+            process default (:func:`repro.graph.backend.get_default_backend`).
 
         The graph is built in two passes: structure first, then weights, so
         that degree-dependent semantics such as Fraudar see the *final*
         degrees exactly as the original static algorithms do.
         """
-        structural = DynamicGraph()
+        from repro.graph.backend import create_graph
+
+        structural = create_graph(backend)
         raw_weights = {}
         for item in edges:
             if len(item) == 2:
@@ -147,7 +157,7 @@ class PeelingSemantics:
             structural.add_edge(src, dst, raw)
             raw_weights[(src, dst)] = raw_weights.get((src, dst), 0.0) + raw
 
-        weighted = DynamicGraph()
+        weighted = create_graph(backend)
         for vertex in structural.vertices():
             if vertex_priors is not None and vertex in vertex_priors:
                 prior = float(vertex_priors[vertex])

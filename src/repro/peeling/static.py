@@ -1,4 +1,4 @@
-"""Static peeling: Algorithm 1 of the paper.
+"""Static peeling: Algorithm 1 of the paper, run over dense vertex ids.
 
 The greedy peeling paradigm removes, at every step, the vertex whose removal
 decreases ``f`` the least (equivalently, maximises the density of what
@@ -16,12 +16,23 @@ FD are all this routine applied to differently weighted graphs (see
 :mod:`repro.peeling.semantics`).  It is also the reference implementation
 the property-based tests compare the incremental engine against.
 
+Implementation notes
+--------------------
+The inner loop runs entirely over the dense ``int32`` ids assigned by the
+graph backend's :class:`~repro.graph.interning.VertexInterner`: heap
+entries are ``(weight, id)`` pairs, membership/removal flags are numpy
+boolean arrays indexed by id, and neighbourhoods arrive as id/weight
+arrays from :meth:`incident_arrays_id` — no Python objects are hashed or
+compared while peeling.  Labels are only translated back at the boundary
+when the :class:`~repro.peeling.result.PeelingResult` is assembled.
+
 Tie-breaking
 ------------
 When several vertices share the minimum peeling weight the algorithm peels
-the one with the smallest *insertion index* (the order vertices entered the
-graph).  The incremental engine uses the same rule so that, in the absence
-of floating-point coincidences, both produce identical sequences.
+the one with the smallest *insertion index* — which is exactly the dense
+id, since the interner assigns ids in graph insertion order.  The
+incremental engine uses the same rule, so both produce identical
+sequences (bit-identical for dyadic weights).
 """
 
 from __future__ import annotations
@@ -29,13 +40,16 @@ from __future__ import annotations
 import heapq
 from typing import AbstractSet, Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.graph.backend import SMALL_DEGREE
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.result import PeelingResult
 
-__all__ = ["peel", "peel_subset", "peeling_weights"]
+__all__ = ["peel", "peel_subset", "peel_subset_ids", "peeling_weights"]
 
 
-def peeling_weights(graph: DynamicGraph, subset: Optional[AbstractSet[Vertex]] = None) -> Dict[Vertex, float]:
+def peeling_weights(graph, subset: Optional[AbstractSet[Vertex]] = None) -> Dict[Vertex, float]:
     """Return ``w_u(S)`` for every ``u`` in ``S`` (default: the whole graph)."""
     if subset is None:
         weights = {}
@@ -53,7 +67,7 @@ def peeling_weights(graph: DynamicGraph, subset: Optional[AbstractSet[Vertex]] =
     return weights
 
 
-def peel(graph: DynamicGraph, semantics_name: str = "custom") -> PeelingResult:
+def peel(graph, semantics_name: str = "custom") -> PeelingResult:
     """Run Algorithm 1 on a weighted graph and return the peeling result.
 
     The graph is expected to already carry materialised suspiciousness
@@ -62,16 +76,16 @@ def peel(graph: DynamicGraph, semantics_name: str = "custom") -> PeelingResult:
     Parameters
     ----------
     graph:
-        The weighted graph ``G``.
+        The weighted graph ``G`` (any :class:`~repro.graph.backend.GraphBackend`).
     semantics_name:
         Label recorded in the result (used by reports and benchmarks).
     """
-    order, weights, total = _peel_vertices(graph, None)
+    order, weights, total = _peel_ids(graph, None)
     return PeelingResult.from_sequence(order, weights, total, semantics_name=semantics_name)
 
 
 def peel_subset(
-    graph: DynamicGraph,
+    graph,
     subset: AbstractSet[Vertex],
     semantics_name: str = "custom",
 ) -> PeelingResult:
@@ -79,65 +93,98 @@ def peel_subset(
 
     Used by dense-subgraph enumeration (Appendix C.2), which repeatedly
     peels the graph that remains after removing an already-reported
-    community.
+    community, and by the deletion path's suffix re-peel.
     """
-    order, weights, total = _peel_vertices(graph, set(subset))
+    interner = graph.interner
+    member_ids = np.array(
+        sorted(interner.id_of(v) for v in subset if graph.has_vertex(v)),
+        dtype=np.int32,
+    )
+    order, weights, total = _peel_ids(graph, member_ids)
     return PeelingResult.from_sequence(order, weights, total, semantics_name=semantics_name)
 
 
-def _peel_vertices(
-    graph: DynamicGraph,
-    subset: Optional[AbstractSet[Vertex]],
+def peel_subset_ids(graph, member_ids) -> Tuple[np.ndarray, List[float], float]:
+    """Id-based :func:`peel_subset` for the maintenance hot paths.
+
+    ``member_ids`` are dense ids of graph vertices (any order; sorted
+    internally so the run is deterministic).  Returns
+    ``(order_ids, weights, total)`` without any label translation.
+    """
+    member_ids = np.sort(np.asarray(member_ids, dtype=np.int32))
+    order_ids, weights, total = _peel_ids(graph, member_ids, as_ids=True)
+    return order_ids, weights, total
+
+
+def _peel_ids(
+    graph,
+    member_ids: Optional[np.ndarray],
+    as_ids: bool = False,
 ) -> Tuple[List[Vertex], List[float], float]:
-    """Core greedy loop shared by :func:`peel` and :func:`peel_subset`."""
-    if subset is None:
-        members = list(graph.vertices())
-    else:
-        members = [v for v in subset if graph.has_vertex(v)]
-    member_set = set(members)
+    """Core greedy loop shared by :func:`peel` and :func:`peel_subset`.
 
-    # Stable tie-breaking index: order of first appearance in the graph.
-    tie_break: Dict[Vertex, int] = {}
-    for index, vertex in enumerate(graph.vertices()):
-        tie_break[vertex] = index
+    With ``as_ids`` the order comes back as an ``int32`` id array instead
+    of labels.
+    """
+    if member_ids is None:
+        member_ids = graph.vertex_ids()
+    interner = graph.interner
+    capacity = max(len(interner), 1)
 
-    current: Dict[Vertex, float] = {}
+    member = np.zeros(capacity, dtype=bool)
+    member[member_ids] = True
+    current = np.zeros(capacity, dtype=np.float64)
+
     total = 0.0
-    for vertex in members:
-        weight = graph.vertex_weight(vertex)
-        total += weight
-        incident = 0.0
-        for nbr, edge_weight in graph.incident_items(vertex):
-            if nbr in member_set:
-                incident += edge_weight
-        current[vertex] = weight + incident
+    member_list = member_ids.tolist()
+    for vid in member_list:
+        vertex_weight = graph.vertex_weight_id(vid)
+        total += vertex_weight
+        ids, weights = graph.incident_arrays_id(vid)
+        degree = len(ids)
+        # The scalar/vector split mirrors the reorder engine's weight
+        # recovery exactly (same threshold, same accumulation shape), so
+        # static and incremental weights stay bit-consistent per vertex.
+        if degree == 0:
+            incident = 0.0
+        elif degree <= SMALL_DEGREE:
+            incident = 0.0
+            for nbr, weight in zip(ids.tolist(), weights.tolist()):
+                if member[nbr]:
+                    incident += weight
+        else:
+            incident = float(weights[member[ids]].sum())
+        current[vid] = vertex_weight + incident
     # Every intra-subset edge was counted twice (once per endpoint).
-    edge_total = (sum(current.values()) - total) / 2.0
+    edge_total = (float(current[member_ids].sum()) - total) / 2.0 if member_list else 0.0
     total += edge_total
 
-    heap: List[Tuple[float, int, Vertex]] = [
-        (current[vertex], tie_break[vertex], vertex) for vertex in members
-    ]
+    heap: List[Tuple[float, int]] = [(current[vid], vid) for vid in member_list]
     heapq.heapify(heap)
 
-    removed: set = set()
-    order: List[Vertex] = []
-    weights: List[float] = []
+    removed = np.zeros(capacity, dtype=bool)
+    order_ids: List[int] = []
+    out_weights: List[float] = []
 
     while heap:
-        weight, _tb, vertex = heapq.heappop(heap)
-        if vertex in removed:
+        weight, vid = heapq.heappop(heap)
+        if removed[vid]:
             continue
-        if weight != current[vertex]:
+        if weight != current[vid]:
             # Stale entry: the vertex lost incident weight since this entry
             # was pushed.  The up-to-date entry is still in the heap.
             continue
-        removed.add(vertex)
-        order.append(vertex)
-        weights.append(weight)
-        for nbr, edge_weight in graph.incident_items(vertex):
-            if nbr in member_set and nbr not in removed:
-                current[nbr] -= edge_weight
-                heapq.heappush(heap, (current[nbr], tie_break[nbr], nbr))
+        removed[vid] = True
+        order_ids.append(vid)
+        out_weights.append(float(weight))
+        ids, edge_weights = graph.incident_arrays_id(vid)
+        if len(ids):
+            live = member[ids] & ~removed[ids]
+            if live.any():
+                for nbr, edge_weight in zip(ids[live].tolist(), edge_weights[live].tolist()):
+                    current[nbr] -= edge_weight
+                    heapq.heappush(heap, (current[nbr], nbr))
 
-    return order, weights, total
+    if as_ids:
+        return np.asarray(order_ids, dtype=np.int32), out_weights, total
+    return interner.labels_for(order_ids), out_weights, total

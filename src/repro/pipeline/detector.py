@@ -84,15 +84,21 @@ class PeriodicStaticDetector:
 
 
 class RealTimeSpadeDetector:
-    """Detect after every transaction via Spade's incremental maintenance."""
+    """Detect after every transaction via Spade's incremental maintenance.
+
+    ``backend`` selects the graph backend of the underlying engine
+    (``"dict"`` / ``"array"``; ``None`` = process default) — the adopted
+    initial graph is converted if it uses a different backend.
+    """
 
     def __init__(
         self,
         semantics: PeelingSemantics,
         initial_graph: DynamicGraph,
         edge_grouping: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        self._spade = Spade(semantics, edge_grouping=edge_grouping)
+        self._spade = Spade(semantics, edge_grouping=edge_grouping, backend=backend)
         self._spade.load_graph(initial_graph)
         self._grouping = edge_grouping
         self._community: FrozenSet[Vertex] = self._spade.detect().vertices

@@ -44,8 +44,11 @@ class TimestampedEdge:
             src=self.src,
             dst=self.dst,
             weight=self.weight,
-            src_weight=self.src_prior,
-            dst_weight=self.dst_prior,
+            # A zero stream prior means "unspecified" (the stream layer's
+            # historical convention); map it to EdgeUpdate's None so the
+            # engine falls back to the semantics' vsusp.
+            src_weight=self.src_prior if self.src_prior else None,
+            dst_weight=self.dst_prior if self.dst_prior else None,
         )
 
     def shifted(self, delta: float) -> "TimestampedEdge":

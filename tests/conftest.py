@@ -1,4 +1,13 @@
-"""Shared fixtures for the Spade reproduction test-suite."""
+"""Shared fixtures for the Spade reproduction test-suite.
+
+The autouse ``graph_backend`` fixture parametrizes **every** test over the
+two graph backends (``dict`` and ``array``) by flipping the process-wide
+default backend: graph fixtures below build through
+:func:`repro.graph.backend.create_graph`, and every ``materialize`` /
+``Spade.load_edges`` call resolves the default at call time, so the same
+assertions run against both implementations of the
+:class:`~repro.graph.backend.GraphBackend` protocol.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +15,20 @@ import random
 
 import pytest
 
-from repro.graph.graph import DynamicGraph
+from repro.graph.backend import create_graph, set_default_backend
 from repro.peeling.semantics import dg_semantics, dw_semantics, fraudar_semantics
 from repro.workloads.datasets import generate_dataset
 from repro.workloads.grab import GrabConfig, generate_grab_dataset
 
 from tests.helpers import random_weighted_edges
+
+
+@pytest.fixture(params=["dict", "array"], autouse=True)
+def graph_backend(request):
+    """Run each test once per graph backend (process default flipped)."""
+    previous = set_default_backend(request.param)
+    yield request.param
+    set_default_backend(previous)
 
 
 @pytest.fixture
@@ -33,9 +50,9 @@ def fd():
 
 
 @pytest.fixture
-def triangle_graph() -> DynamicGraph:
+def triangle_graph():
     """A triangle plus one pendant vertex: the community is the triangle."""
-    graph = DynamicGraph()
+    graph = create_graph()
     graph.add_edge("a", "b", 1.0)
     graph.add_edge("b", "c", 1.0)
     graph.add_edge("a", "c", 1.0)
@@ -44,9 +61,9 @@ def triangle_graph() -> DynamicGraph:
 
 
 @pytest.fixture
-def two_block_graph() -> DynamicGraph:
+def two_block_graph():
     """Two cliques of different density joined by a weak bridge."""
-    graph = DynamicGraph()
+    graph = create_graph()
     heavy = ["h0", "h1", "h2", "h3"]
     light = ["l0", "l1", "l2"]
     for i, u in enumerate(heavy):
@@ -60,11 +77,11 @@ def two_block_graph() -> DynamicGraph:
 
 
 @pytest.fixture
-def random_graph() -> DynamicGraph:
+def random_graph():
     """A reproducible random weighted graph of moderate size."""
     rng = random.Random(12345)
     edges = random_weighted_edges(30, 90, rng)
-    graph = DynamicGraph()
+    graph = create_graph()
     for src, dst, weight in edges:
         graph.add_edge(src, dst, weight)
     return graph

@@ -1,0 +1,221 @@
+"""Differential tests: dict vs array backend must be *bit-identical*.
+
+Both backends enumerate neighbourhoods in the same order and the engine
+sums weights the same way on top of them, so for exact (dyadic) weights
+the two backends must produce byte-identical peeling sequences, weights,
+totals, densities and communities at every step of an arbitrary update
+stream — not merely equivalent ones.  These property-based tests drive
+random streams of single inserts, batches and deletions through a state
+per backend and compare after every step, with ``check_consistency``
+asserted throughout.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.batch import insert_batch
+from repro.core.deletion import delete_edges
+from repro.core.insertion import insert_edge
+from repro.core.state import PeelingState
+from repro.errors import UnknownEdgeError
+from repro.graph.array_graph import ArrayGraph
+from repro.graph.backend import backend_of, convert_graph, create_graph
+from repro.graph.graph import DynamicGraph
+from repro.peeling.semantics import dw_semantics
+from repro.peeling.static import peel
+
+from tests.helpers import dyadic_weight, random_weighted_edges
+
+
+def _paired_states(initial_edges):
+    """Build one peeling state per backend from the same edge stream."""
+    semantics = dw_semantics()
+    states = []
+    for backend in ("dict", "array"):
+        graph = semantics.materialize(initial_edges, backend=backend)
+        states.append(PeelingState(graph, semantics))
+    return states
+
+
+def _assert_identical(dict_state: PeelingState, array_state: PeelingState) -> None:
+    """Assert the two maintained states are byte-identical, and consistent."""
+    dict_state.check_consistency()
+    array_state.check_consistency()
+    assert list(dict_state.order) == list(array_state.order)
+    assert np.array_equal(dict_state.weights, array_state.weights)
+    assert dict_state.total == array_state.total
+    left, right = dict_state.community(), array_state.community()
+    assert left.vertices == right.vertices
+    assert left.density == right.density
+    assert left.peel_index == right.peel_index
+    assert np.array_equal(dict_state.density_profile(), array_state.density_profile())
+
+
+class TestDifferentialStreams:
+    @pytest.mark.parametrize("seed", [7, 101, 2024])
+    def test_single_insert_stream(self, seed):
+        rng = random.Random(seed)
+        edges = random_weighted_edges(24, 110, rng)
+        dict_state, array_state = _paired_states(edges[:60])
+        _assert_identical(dict_state, array_state)
+        for src, dst, weight in edges[60:]:
+            insert_edge(dict_state, src, dst, weight)
+            insert_edge(array_state, src, dst, weight)
+            _assert_identical(dict_state, array_state)
+
+    @pytest.mark.parametrize("seed", [13, 77])
+    def test_mixed_insert_batch_delete_stream(self, seed):
+        rng = random.Random(seed)
+        edges = random_weighted_edges(30, 160, rng)
+        dict_state, array_state = _paired_states(edges[:80])
+        live = list(edges[:80])
+        cursor = 80
+        for _round in range(12):
+            action = rng.choice(["insert", "batch", "delete"])
+            if action == "insert" and cursor < len(edges):
+                src, dst, weight = edges[cursor]
+                cursor += 1
+                live.append((src, dst, weight))
+                insert_edge(dict_state, src, dst, weight)
+                insert_edge(array_state, src, dst, weight)
+            elif action == "batch":
+                size = rng.randint(1, 5)
+                batch = [
+                    (rng.randrange(30, 40), rng.randrange(30), dyadic_weight(rng))
+                    for _ in range(size)
+                ]
+                live.extend(batch)
+                insert_batch(dict_state, list(batch))
+                insert_batch(array_state, list(batch))
+            else:
+                if not live:
+                    continue
+                doomed = [live.pop(rng.randrange(len(live)))]
+                pairs = [(src, dst) for src, dst, _w in doomed]
+                live = [e for e in live if (e[0], e[1]) not in set(pairs)]
+                delete_edges(dict_state, pairs)
+                delete_edges(array_state, pairs)
+            _assert_identical(dict_state, array_state)
+
+    def test_streams_match_static_repeel(self):
+        rng = random.Random(5)
+        edges = random_weighted_edges(20, 80, rng)
+        dict_state, array_state = _paired_states(edges[:50])
+        for src, dst, weight in edges[50:]:
+            insert_edge(dict_state, src, dst, weight)
+            insert_edge(array_state, src, dst, weight)
+        _assert_identical(dict_state, array_state)
+        static = peel(array_state.graph, "DW")
+        assert list(static.order) == list(array_state.order)
+        assert static.community == array_state.community().vertices
+
+
+class TestArrayGraphUnit:
+    def test_matches_dict_backend_content(self):
+        rng = random.Random(3)
+        edges = random_weighted_edges(15, 60, rng)
+        dict_graph = DynamicGraph(edges=edges)
+        array_graph = ArrayGraph(edges=edges)
+        assert array_graph == dict_graph
+        assert list(dict_graph.vertices()) == list(array_graph.vertices())
+        assert sorted(dict_graph.edges()) == sorted(array_graph.edges())
+        for vertex in dict_graph.vertices():
+            assert dict_graph.degree(vertex) == array_graph.degree(vertex)
+            assert dict_graph.incident_weight(vertex) == pytest.approx(
+                array_graph.incident_weight(vertex)
+            )
+            assert list(dict_graph.incident_items(vertex)) == list(
+                array_graph.incident_items(vertex)
+            )
+            assert list(dict_graph.neighbors(vertex)) == list(array_graph.neighbors(vertex))
+
+    def test_duplicate_edge_accumulates(self):
+        graph = ArrayGraph()
+        assert graph.add_edge("a", "b", 1.5) == 1.5
+        assert graph.add_edge("a", "b", 0.5) == 2.0
+        assert graph.num_edges() == 1
+        assert graph.edge_weight("a", "b") == 2.0
+        assert graph.incident_weight("a") == 2.0
+
+    def test_pool_growth_beyond_initial_capacity(self):
+        graph = ArrayGraph()
+        for i in range(50):
+            graph.add_edge("hub", f"v{i}", 1.0 + i / 64.0)
+        assert graph.out_degree("hub") == 50
+        assert graph.degree("hub") == 50
+        assert graph.incident_weight("hub") == pytest.approx(sum(1.0 + i / 64.0 for i in range(50)))
+        ids, weights = graph.incident_arrays_id(graph.interner.id_of("hub"))
+        assert len(ids) == 50
+        assert weights[0] == 1.0
+
+    def test_remove_edge_keeps_slots_consistent(self):
+        graph = ArrayGraph()
+        labels = [f"v{i}" for i in range(6)]
+        for i, dst in enumerate(labels):
+            graph.add_edge("hub", dst, (i + 1) / 4.0)
+        assert graph.remove_edge("hub", "v2") == pytest.approx(3 / 4.0)
+        # Remaining edges keep their weights and enumeration order.
+        assert [dst for dst, _w in graph.out_neighbors("hub").items()] == [
+            "v0", "v1", "v3", "v4", "v5",
+        ]
+        for i, dst in enumerate(labels):
+            if dst == "v2":
+                with pytest.raises(UnknownEdgeError):
+                    graph.edge_weight("hub", dst)
+            else:
+                assert graph.edge_weight("hub", dst) == pytest.approx((i + 1) / 4.0)
+        # Removing and re-adding still round-trips.
+        graph.add_edge("hub", "v2", 9.0)
+        assert graph.edge_weight("hub", "v2") == 9.0
+        assert graph.out_degree("hub") == 6
+
+    def test_absent_vertex_queries_match_dict_backend(self):
+        dict_graph = DynamicGraph(edges=[("a", "b", 1.0)])
+        array_graph = ArrayGraph(edges=[("a", "b", 1.0)])
+        for graph in (dict_graph, array_graph):
+            assert list(graph.neighbors("ghost")) == []
+            assert graph.incident_weight("ghost") == 0.0
+            assert list(graph.incident_items("ghost")) == []
+            assert not graph.has_vertex("ghost")
+
+    def test_unknown_edge_error_fields(self):
+        graph = ArrayGraph()
+        graph.add_edge("a", "b", 1.0)
+        with pytest.raises(UnknownEdgeError) as excinfo:
+            graph.remove_edge("b", "a")
+        assert excinfo.value.src == "b"
+        assert excinfo.value.dst == "a"
+
+    def test_copy_is_independent(self):
+        graph = ArrayGraph(edges=[("a", "b", 2.0), ("b", "c", 1.0)])
+        clone = graph.copy()
+        clone.add_edge("c", "a", 4.0)
+        assert not graph.has_edge("c", "a")
+        assert clone.has_edge("c", "a")
+        assert graph.interner is not clone.interner
+
+    def test_convert_graph_round_trip(self):
+        rng = random.Random(11)
+        edges = random_weighted_edges(12, 40, rng)
+        dict_graph = DynamicGraph(edges=edges)
+        array_graph = convert_graph(dict_graph, "array")
+        assert backend_of(array_graph) == "array"
+        assert array_graph == dict_graph
+        back = convert_graph(array_graph, "dict")
+        assert backend_of(back) == "dict"
+        assert array_graph == back
+        # Same-backend conversion is the identity.
+        assert convert_graph(dict_graph, "dict") is dict_graph
+
+    def test_interner_ids_are_stable_insertion_order(self):
+        graph = create_graph("array")
+        graph.add_edge("x", "y")
+        graph.add_edge("z", "x")
+        assert [graph.interner.id_of(v) for v in ("x", "y", "z")] == [0, 1, 2]
+        graph.remove_edge("x", "y")
+        graph.add_edge("x", "y")
+        assert [graph.interner.id_of(v) for v in ("x", "y", "z")] == [0, 1, 2]

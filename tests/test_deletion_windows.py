@@ -26,9 +26,17 @@ class TestDeletion:
     def test_delete_unknown_edge_is_ignored(self, two_block_graph, dw):
         state = PeelingState(two_block_graph, dw)
         before = list(state.order)
-        affected = delete_edges(state, [("nope", "nothere")])
-        assert affected == 0
+        stats = delete_edges(state, [("nope", "nothere")])
+        assert stats.repeeled_positions == 0
+        assert stats.affected_area == 0
         assert list(state.order) == before
+
+    def test_delete_reports_reorder_stats(self, two_block_graph, dw):
+        state = PeelingState(two_block_graph, dw)
+        stats = delete_edges(state, [("h0", "h1")])
+        assert stats.repeeled_positions > 0
+        assert stats.islands == 1
+        assert stats.scanned_positions == stats.repeeled_positions
 
     def test_delete_bridge_keeps_both_blocks_valid(self, two_block_graph, dw):
         state = PeelingState(two_block_graph, dw)

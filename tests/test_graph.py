@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import InvalidWeightError, UnknownVertexError
+from repro.errors import InvalidWeightError, UnknownEdgeError, UnknownVertexError
 from repro.graph.graph import DynamicGraph
 
 
@@ -109,8 +109,10 @@ class TestEdges:
     def test_remove_missing_edge_raises(self):
         graph = DynamicGraph()
         graph.add_edge("a", "b", 1.0)
-        with pytest.raises(UnknownVertexError):
+        with pytest.raises(UnknownEdgeError) as excinfo:
             graph.remove_edge("b", "a")
+        assert excinfo.value.src == "b"
+        assert excinfo.value.dst == "a"
 
     def test_edges_iteration(self):
         graph = DynamicGraph()
@@ -121,8 +123,10 @@ class TestEdges:
 
     def test_edge_weight_unknown(self):
         graph = DynamicGraph()
-        with pytest.raises(UnknownVertexError):
+        with pytest.raises(UnknownEdgeError) as excinfo:
             graph.edge_weight("x", "y")
+        assert excinfo.value.src == "x"
+        assert excinfo.value.dst == "y"
 
     def test_from_edges_constructor(self):
         graph = DynamicGraph.from_edges([("a", "b"), ("b", "c", 2.5)])
