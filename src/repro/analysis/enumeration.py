@@ -86,6 +86,7 @@ def enumerate_over_time(
     max_instances: int = 5,
     min_f1: float = 0.3,
     min_density: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> EnumerationTimeline:
     """Replay the increments in ``num_spans`` slices, enumerating after each.
 
@@ -94,8 +95,13 @@ def enumerate_over_time(
     set matches it best (F1 above ``min_f1``).  An instance is only counted
     in the first timespan it appears in ("newly identified"), matching the
     semantics of Figure 15.
+
+    ``backend`` selects the graph storage (``None`` = process default).
+    On the array backend each per-span enumeration runs over one immutable
+    CSR snapshot (see :func:`repro.core.enumeration.enumerate_communities`),
+    which is what keeps the 28-span replay tractable at Grab scale.
     """
-    spade = Spade(semantics)
+    spade = Spade(semantics, backend=backend)
     spade.load_graph(dataset.initial_graph(semantics))
     if min_density is None:
         min_density = spade.detect().density

@@ -10,12 +10,19 @@ backend on the same synthetic transaction stream and reports:
 * ``detect_per_edge_us`` — maintenance *plus* a community detection per
   edge (the full ``Spade.insert_edge``), whose numpy suffix scan is
   backend-independent;
-* ``static_peel_s`` — one from-scratch peel on the initial graph, for the
-  classic fig10 static-vs-incremental ratio.
+* ``static_peel_s`` — one from-scratch heap peel on the initial graph, for
+  the classic fig10 static-vs-incremental ratio.
 
-``python -m repro.bench.backend_bench`` writes the comparison to
-``BENCH_backend.json`` (repo root by default); the acceptance bar for the
-array backend is ≥2× dict single-edge insert throughput.
+The run is parametrized with ``--backends dict array`` and
+``--static heap csr``: ``python -m repro.bench.backend_bench`` writes the
+backend comparison to ``BENCH_backend.json`` and — whenever the ``csr``
+method is selected — the heap-vs-CSR static-peel comparison
+(:func:`run_static_comparison`: cold freeze, snapshot-resident peel and a
+bit-identity check) to ``BENCH_csr.json``.
+Acceptance bars: array ≥ 2× dict single-edge insert throughput, and the
+snapshot-resident CSR peel ≥ 3× the heap peel.  ``--quick`` shrinks the
+workload for CI smoke runs; a sequence mismatch between the heap and CSR
+peels makes the process exit non-zero so CI fails loudly.
 """
 
 from __future__ import annotations
@@ -23,18 +30,25 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._version import __version__
 from repro.core.insertion import insert_edge
 from repro.core.spade import Spade
 from repro.core.state import PeelingState
 from repro.peeling.semantics import dw_semantics
-from repro.peeling.static import peel
+from repro.peeling.static import peel, peel_csr
 
-__all__ = ["generate_stream", "run_backend", "run_comparison", "main"]
+__all__ = [
+    "generate_stream",
+    "run_backend",
+    "run_comparison",
+    "run_static_comparison",
+    "main",
+]
 
 #: Default workload shape: fig10-style single-edge updates on a graph at
 #: the scale of the paper's public datasets (amazon / wiki-vote are in the
@@ -45,6 +59,11 @@ __all__ = ["generate_stream", "run_backend", "run_comparison", "main"]
 DEFAULT_VERTICES = 20000
 DEFAULT_INITIAL_EDGES = 120000
 DEFAULT_INCREMENTS = 400
+
+#: ``--quick`` workload for CI smoke runs.
+QUICK_VERTICES = 2000
+QUICK_INITIAL_EDGES = 12000
+QUICK_INCREMENTS = 60
 
 
 def generate_stream(
@@ -80,12 +99,28 @@ def generate_stream(
     return edges[:num_initial], edges[num_initial:]
 
 
+def _results_match(a, b) -> bool:
+    """Bit-identity check between two peeling results."""
+    return (
+        list(a.order) == list(b.order)
+        and list(a.weights) == list(b.weights)
+        and a.best_density == b.best_density
+        and a.community == b.community
+    )
+
+
 def run_backend(
     backend: str,
     initial: List[tuple],
     increments: List[tuple],
 ) -> Dict[str, float]:
-    """Benchmark one backend; returns the metric row for the JSON report."""
+    """Benchmark one backend; returns the metric row for the JSON report.
+
+    The heap static peel measured here is the fig10 baseline; the
+    heap-vs-CSR static comparison lives in :func:`run_static_comparison`
+    (``BENCH_csr.json``) so the same quantity is not measured — and
+    reported — twice.
+    """
     semantics = dw_semantics()
 
     # Static baseline on the initial graph (one from-scratch peel).
@@ -93,6 +128,11 @@ def run_backend(
     began = time.perf_counter()
     peel(graph, semantics.name)
     static_seconds = time.perf_counter() - began
+
+    row: Dict[str, float] = {
+        "backend": backend,
+        "static_peel_s": round(static_seconds, 6),
+    }
 
     # Maintenance-only single-edge inserts (the refactor's hot path).
     graph = semantics.materialize(initial, backend=backend)
@@ -112,14 +152,15 @@ def run_backend(
     detect_seconds = time.perf_counter() - began
 
     per_edge = insert_seconds / len(increments)
-    return {
-        "backend": backend,
-        "static_peel_s": round(static_seconds, 6),
-        "insert_per_edge_us": round(per_edge * 1e6, 3),
-        "insert_throughput_eps": round(1.0 / per_edge, 1),
-        "detect_per_edge_us": round(detect_seconds / len(increments) * 1e6, 3),
-        "static_vs_incremental_speedup": round(static_seconds / per_edge, 1),
-    }
+    row.update(
+        {
+            "insert_per_edge_us": round(per_edge * 1e6, 3),
+            "insert_throughput_eps": round(1.0 / per_edge, 1),
+            "detect_per_edge_us": round(detect_seconds / len(increments) * 1e6, 3),
+            "static_vs_incremental_speedup": round(static_seconds / per_edge, 1),
+        }
+    )
+    return row
 
 
 def run_comparison(
@@ -128,8 +169,9 @@ def run_comparison(
     num_increments: int = DEFAULT_INCREMENTS,
     seed: int = 42,
     repeats: int = 2,
+    backends: Sequence[str] = ("dict", "array"),
 ) -> Dict[str, object]:
-    """Run the fig10 single-edge micro-benchmark on both backends.
+    """Run the fig10 single-edge micro-benchmark on the selected backends.
 
     Each backend is measured ``repeats`` times and the best run kept
     (minimum per-edge time), which filters allocator/JIT-warmup noise the
@@ -137,20 +179,18 @@ def run_comparison(
     """
     initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
     rows: Dict[str, Dict[str, float]] = {}
-    for backend in ("dict", "array"):
+    for backend in backends:
         best: Dict[str, float] = {}
         for _ in range(repeats):
             row = run_backend(backend, initial, increments)
             if not best or row["insert_per_edge_us"] < best["insert_per_edge_us"]:
                 best = row
         rows[backend] = best
-    speedup = rows["dict"]["insert_per_edge_us"] / rows["array"]["insert_per_edge_us"]
-    detect_speedup = rows["dict"]["detect_per_edge_us"] / rows["array"]["detect_per_edge_us"]
-    return {
+    report: Dict[str, object] = {
         "experiment": "fig10-single-edge-insert-backend-comparison",
         "description": (
             "single-edge incremental maintenance (|ΔE| = 1) on a synthetic "
-            "fig10-style stream, dict vs array graph backend"
+            "fig10-style stream, per graph backend and static-peel method"
         ),
         "version": __version__,
         "workload": {
@@ -160,31 +200,141 @@ def run_comparison(
             "seed": seed,
             "semantics": "DW",
             "repeats": repeats,
+            "backends": list(backends),
         },
         "backends": rows,
-        "array_over_dict_insert_speedup": round(speedup, 2),
-        "array_over_dict_detect_speedup": round(detect_speedup, 2),
-        "target": "array backend >= 2x dict single-edge insert throughput",
-        "target_met": bool(speedup >= 2.0),
+    }
+    if "dict" in rows and "array" in rows:
+        speedup = rows["dict"]["insert_per_edge_us"] / rows["array"]["insert_per_edge_us"]
+        detect_speedup = (
+            rows["dict"]["detect_per_edge_us"] / rows["array"]["detect_per_edge_us"]
+        )
+        report.update(
+            {
+                "array_over_dict_insert_speedup": round(speedup, 2),
+                "array_over_dict_detect_speedup": round(detect_speedup, 2),
+                "target": "array backend >= 2x dict single-edge insert throughput",
+                "target_met": bool(speedup >= 2.0),
+            }
+        )
+    return report
+
+
+def run_static_comparison(
+    num_vertices: int = DEFAULT_VERTICES,
+    num_initial: int = DEFAULT_INITIAL_EDGES,
+    seed: int = 42,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Benchmark the heap vs CSR static peel on the fig10 initial graph.
+
+    Each repeat re-materialises the array-backend graph from scratch —
+    deliberately, so the ``freeze_s`` measurement is always a cold freeze
+    rather than a hit on the graph's version-keyed snapshot cache — and
+    then measures the heap peel (:func:`peel`), the freeze (including the
+    combined-incidence build), and the snapshot-resident CSR peel
+    (:func:`peel_csr` on the frozen snapshot — the steady-state cost
+    every re-run of the static baseline pays).  Also asserts the two
+    peels are bit-identical; the report lands in ``BENCH_csr.json``.
+    """
+    initial, _ = generate_stream(num_vertices, num_initial, 0, seed)
+    semantics = dw_semantics()
+
+    heap_s = freeze_s = csr_s = float("inf")
+    match = True
+    for _ in range(repeats):
+        graph = semantics.materialize(initial, backend="array")
+        began = time.perf_counter()
+        heap_result = peel(graph, semantics.name)
+        heap_s = min(heap_s, time.perf_counter() - began)
+
+        began = time.perf_counter()
+        snapshot = graph.freeze()
+        snapshot.incidence()
+        freeze_s = min(freeze_s, time.perf_counter() - began)
+
+        began = time.perf_counter()
+        csr_result = peel_csr(snapshot, semantics.name)
+        csr_s = min(csr_s, time.perf_counter() - began)
+        match = match and _results_match(heap_result, csr_result)
+
+    return {
+        "experiment": "fig10-static-peel-heap-vs-csr",
+        "description": (
+            "from-scratch static peel (Algorithm 1) on the fig10 initial graph: "
+            "heap-based peel over the mutable ArrayGraph vs vectorized peel_csr "
+            "over an immutable CSR snapshot"
+        ),
+        "version": __version__,
+        "workload": {
+            "num_vertices": num_vertices,
+            "initial_edges": num_initial,
+            "seed": seed,
+            "semantics": "DW",
+            "repeats": repeats,
+        },
+        "heap_peel_s": round(heap_s, 6),
+        "freeze_s": round(freeze_s, 6),
+        "csr_peel_s": round(csr_s, 6),
+        "csr_peel_cold_s": round(freeze_s + csr_s, 6),
+        "speedup_csr_over_heap": round(heap_s / csr_s, 2),
+        "speedup_incl_freeze": round(heap_s / (freeze_s + csr_s), 2),
+        "sequences_match": bool(match),
+        "target": "snapshot-resident peel_csr >= 3x heap peel",
+        "target_met": bool(match and heap_s / csr_s >= 3.0),
     }
 
 
 def main() -> None:
-    """CLI entry point: run the comparison and persist ``BENCH_backend.json``."""
+    """CLI entry point: run the comparisons and persist the JSON reports."""
     parser = argparse.ArgumentParser(description="dict vs array backend micro-benchmark")
-    parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
-    parser.add_argument("--initial-edges", type=int, default=DEFAULT_INITIAL_EDGES)
-    parser.add_argument("--increments", type=int, default=DEFAULT_INCREMENTS)
+    parser.add_argument("--vertices", type=int, default=None)
+    parser.add_argument("--initial-edges", type=int, default=None)
+    parser.add_argument("--increments", type=int, default=None)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        choices=["dict", "array"],
+        default=["dict", "array"],
+        help="graph backends to measure",
+    )
+    parser.add_argument(
+        "--static",
+        nargs="+",
+        choices=["heap", "csr"],
+        default=["heap", "csr"],
+        help="static-peel methods to measure",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke runs"
+    )
     parser.add_argument("--output", type=Path, default=Path("BENCH_backend.json"))
+    parser.add_argument(
+        "--csr-output",
+        type=Path,
+        default=Path("BENCH_csr.json"),
+        help="where the heap-vs-CSR static comparison is written",
+    )
     args = parser.parse_args()
+
+    defaults = (
+        (QUICK_VERTICES, QUICK_INITIAL_EDGES, QUICK_INCREMENTS)
+        if args.quick
+        else (DEFAULT_VERTICES, DEFAULT_INITIAL_EDGES, DEFAULT_INCREMENTS)
+    )
+    vertices = args.vertices if args.vertices is not None else defaults[0]
+    initial_edges = args.initial_edges if args.initial_edges is not None else defaults[1]
+    increments = args.increments if args.increments is not None else defaults[2]
+
     report = run_comparison(
-        num_vertices=args.vertices,
-        num_initial=args.initial_edges,
-        num_increments=args.increments,
+        num_vertices=vertices,
+        num_initial=initial_edges,
+        num_increments=increments,
         seed=args.seed,
         repeats=args.repeats,
+        backends=args.backends,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for backend, row in report["backends"].items():
@@ -192,11 +342,32 @@ def main() -> None:
             f"{backend:>5}: {row['insert_per_edge_us']:9.2f} us/edge maintenance, "
             f"{row['detect_per_edge_us']:9.2f} us/edge with detection"
         )
-    print(
-        f"array over dict: {report['array_over_dict_insert_speedup']}x insert, "
-        f"{report['array_over_dict_detect_speedup']}x detect "
-        f"(target >= 2x insert: {'MET' if report['target_met'] else 'NOT MET'})"
-    )
+    if "array_over_dict_insert_speedup" in report:
+        print(
+            f"array over dict: {report['array_over_dict_insert_speedup']}x insert, "
+            f"{report['array_over_dict_detect_speedup']}x detect "
+            f"(target >= 2x insert: {'MET' if report['target_met'] else 'NOT MET'})"
+        )
+
+    ok = True
+    if "csr" in args.static:
+        csr_report = run_static_comparison(
+            num_vertices=vertices,
+            num_initial=initial_edges,
+            seed=args.seed,
+            repeats=max(args.repeats, 2),
+        )
+        args.csr_output.write_text(json.dumps(csr_report, indent=2) + "\n")
+        print(
+            f"static peel: heap {csr_report['heap_peel_s']:.3f}s vs csr "
+            f"{csr_report['csr_peel_s']:.3f}s (+{csr_report['freeze_s']:.3f}s freeze) — "
+            f"{csr_report['speedup_csr_over_heap']}x, sequences "
+            f"{'MATCH' if csr_report['sequences_match'] else 'MISMATCH'}"
+        )
+        ok = bool(csr_report["sequences_match"])
+    if not ok:
+        print("ERROR: CSR static peel diverged from the heap peel", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

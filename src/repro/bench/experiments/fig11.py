@@ -18,6 +18,7 @@ from repro.bench.harness import (
     save_result,
     standard_argument_parser,
 )
+from repro.graph.backend import get_default_backend
 from repro.streaming.policies import BatchPolicy, PerEdgePolicy
 from repro.streaming.replay import replay_stream
 
@@ -28,13 +29,20 @@ QUICK_SWEEP = [1, 10, 50, 100]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
-    """Sweep batch sizes on the Grab datasets and record E and L."""
+    """Sweep batch sizes on the Grab datasets and record E and L.
+
+    Honours ``--backend dict|array`` for the engines; the batching paths
+    are backend-generic, so the sweep doubles as a backend comparison when
+    run once per backend.
+    """
+    backend = config.backend or get_default_backend()
     result = ExperimentResult(
         experiment="fig11",
         description="elapsed time and latency vs batch size (Figure 11)",
         columns=[
             "dataset",
             "algorithm",
+            "backend",
             "batch size",
             "E (us/edge)",
             "mean latency (stream s)",
@@ -50,7 +58,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         stream = dataset.increments[: min(limit, len(dataset.increments))]
         for algo, semantics in config.semantics_instances():
             for size in sweep:
-                spade = build_engine(dataset, semantics)
+                spade = build_engine(dataset, semantics, backend=config.backend)
                 policy = PerEdgePolicy() if size == 1 else BatchPolicy(size)
                 report = replay_stream(spade, stream, policy, fraud_communities=truth)
                 metrics = report.metrics
@@ -58,6 +66,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                     **{
                         "dataset": name,
                         "algorithm": algo,
+                        "backend": backend,
                         "batch size": size,
                         "E (us/edge)": round(metrics.mean_elapsed_per_edge * 1e6, 2),
                         "mean latency (stream s)": round(metrics.mean_latency, 4),

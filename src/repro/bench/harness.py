@@ -32,6 +32,7 @@ __all__ = [
     "load_dataset",
     "save_result",
     "standard_argument_parser",
+    "static_peel_fn",
     "config_from_args",
 ]
 
@@ -68,6 +69,11 @@ class ExperimentConfig:
     output_dir: Optional[Path] = None
     #: Quick mode: small datasets, few increments — used by pytest targets.
     quick: bool = False
+    #: Graph backend for the engines ("dict" / "array"); None = process default.
+    backend: Optional[str] = None
+    #: Static-peel method for the baselines: "heap" (Algorithm 1 over the
+    #: mutable graph) or "csr" (vectorised peel over a frozen CSR snapshot).
+    static: str = "heap"
 
     @classmethod
     def quick_config(cls, **overrides) -> "ExperimentConfig":
@@ -157,11 +163,28 @@ def build_engine(
     dataset: Dataset,
     semantics: PeelingSemantics,
     edge_grouping: bool = False,
+    backend: Optional[str] = None,
 ) -> Spade:
     """Build a Spade engine loaded with the dataset's initial graph."""
-    spade = Spade(semantics, edge_grouping=edge_grouping)
+    spade = Spade(semantics, edge_grouping=edge_grouping, backend=backend)
     spade.load_graph(dataset.initial_graph(semantics))
     return spade
+
+
+def static_peel_fn(config: ExperimentConfig):
+    """Return the static-peel callable selected by ``config.static``.
+
+    ``"heap"`` is Algorithm 1 over the mutable graph
+    (:func:`repro.peeling.static.peel`); ``"csr"`` freezes the graph into
+    an immutable CSR snapshot and runs the vectorised
+    :func:`repro.peeling.static.peel_csr` — both produce bit-identical
+    results, so experiments may use either as the static baseline.
+    """
+    from repro.peeling.static import peel, peel_csr
+
+    if config.static == "csr":
+        return peel_csr
+    return peel
 
 
 def save_result(result: ExperimentResult, config: ExperimentConfig) -> Optional[Path]:
@@ -203,6 +226,19 @@ def standard_argument_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument(
         "--datasets", nargs="*", default=None, help="override the dataset list"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["dict", "array"],
+        default=None,
+        help="graph backend for the engines (default: process default)",
+    )
+    parser.add_argument(
+        "--static",
+        choices=["heap", "csr"],
+        default="heap",
+        help="static-peel method for baselines: heap (Algorithm 1) or csr "
+        "(vectorised peel over a frozen CSR snapshot)",
+    )
     return parser
 
 
@@ -216,4 +252,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config.max_increments = args.max_increments
     if args.datasets:
         config.datasets = list(args.datasets)
+    if getattr(args, "backend", None):
+        config.backend = args.backend
+    if getattr(args, "static", None):
+        config.static = args.static
     return config

@@ -34,7 +34,10 @@ def normalize_updates(batch: BatchInput) -> List[EdgeUpdate]:
     """Coerce the accepted batch shapes into a list of :class:`EdgeUpdate`.
 
     Accepted shapes: a :class:`GraphDelta`, an iterable of
-    :class:`EdgeUpdate`, or an iterable of ``(src, dst[, weight])`` tuples.
+    :class:`EdgeUpdate`, or an iterable of ``(src, dst[, weight])``
+    sequences — tuples, lists, or any other 2/3-length sequence (JSONL
+    replay hands back lists, for instance).  Strings are rejected rather
+    than being misread as two single-character endpoints.
     """
     if isinstance(batch, GraphDelta):
         return list(batch.updates)
@@ -42,9 +45,16 @@ def normalize_updates(batch: BatchInput) -> List[EdgeUpdate]:
     for item in batch:
         if isinstance(item, EdgeUpdate):
             updates.append(item)
-        elif isinstance(item, tuple) and len(item) == 2:
+            continue
+        if isinstance(item, (str, bytes)):
+            raise TypeError(f"unsupported update {item!r}")
+        try:
+            length = len(item)
+        except TypeError:
+            raise TypeError(f"unsupported update {item!r}") from None
+        if length == 2:
             updates.append(EdgeUpdate(item[0], item[1]))
-        elif isinstance(item, tuple) and len(item) == 3:
+        elif length == 3:
             updates.append(EdgeUpdate(item[0], item[1], float(item[2])))
         else:
             raise TypeError(f"unsupported update {item!r}")

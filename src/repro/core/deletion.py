@@ -30,16 +30,20 @@ benchmarks) get uniform cost accounting; the deletion-specific counter is
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.reorder import ReorderStats
 from repro.core.state import PeelingState
 from repro.graph.graph import Vertex
-from repro.peeling.static import peel_subset_ids
+from repro.peeling.static import peel_csr_ids, peel_subset_ids
 
 __all__ = ["delete_edges", "safe_prefix_bound", "repeel_suffix"]
+
+#: Suffix sizes below this always take the heap re-peel; freezing a CSR
+#: snapshot is O(|V| + |E|), which only pays off for big affected areas.
+_CSR_REPEEL_MIN_SUFFIX = 1024
 
 
 def safe_prefix_bound(state: PeelingState, lightened: Iterable[Tuple[Vertex, float]]) -> int:
@@ -70,16 +74,33 @@ def safe_prefix_bound(state: PeelingState, lightened: Iterable[Tuple[Vertex, flo
     return int(above[0]) if len(above) else len(state)
 
 
-def repeel_suffix(state: PeelingState, start: int) -> int:
+def repeel_suffix(state: PeelingState, start: int, use_csr: Optional[bool] = None) -> int:
     """Re-run the static peel on ``order[start:]`` and splice it back.
 
     Returns the number of re-peeled vertices (the affected area).
+
+    When the suffix dominates the sequence (at least half of it, and at
+    least ``_CSR_REPEEL_MIN_SUFFIX`` vertices) and the backend can freeze,
+    the re-peel runs over an immutable CSR snapshot
+    (:func:`repro.peeling.static.peel_csr_ids`) — bit-identical to the
+    heap re-peel but with vectorised weight recovery.  ``use_csr`` forces
+    the choice either way (used by the differential tests).
     """
     suffix_ids = state.order_ids[start:]
     if len(suffix_ids) == 0:
         state.invalidate()
         return 0
-    order_ids, weights, _total = peel_subset_ids(state.graph, suffix_ids)
+    graph = state.graph
+    if use_csr is None:
+        use_csr = (
+            hasattr(graph, "freeze")
+            and len(suffix_ids) >= _CSR_REPEEL_MIN_SUFFIX
+            and 2 * len(suffix_ids) >= len(state)
+        )
+    if use_csr:
+        order_ids, weights, _total = peel_csr_ids(graph, suffix_ids)
+    else:
+        order_ids, weights, _total = peel_subset_ids(graph, suffix_ids)
     state.write_segment_ids(start, order_ids, np.asarray(weights, dtype=np.float64))
     return len(suffix_ids)
 

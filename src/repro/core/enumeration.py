@@ -29,7 +29,7 @@ from repro.core.state import PeelingState
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.result import PeelingResult
 from repro.peeling.semantics import subset_density
-from repro.peeling.static import peel_subset
+from repro.peeling.static import peel_subset, peel_subset_csr
 
 __all__ = ["CommunityInstance", "enumerate_communities", "split_instances"]
 
@@ -106,15 +106,31 @@ def enumerate_communities(
     remaining: Set[Vertex] = set(graph.vertices())
     instances: List[CommunityInstance] = []
 
+    # Enumeration is read-only: on backends that can freeze (array), peel
+    # every shrinking remainder over one immutable CSR snapshot instead of
+    # hammering the mutable pools.  The freeze is deferred to the first
+    # re-peel so detector-style calls that only consume the maintained
+    # sequence (``first``) never pay for it.
+    use_csr = hasattr(graph, "freeze")
+    snapshot = None
+
     while remaining and len(instances) < max_instances:
         if first is not None:
             result = first
             first = None
+        elif use_csr:
+            if snapshot is None:
+                snapshot = graph.freeze()
+            result = peel_subset_csr(snapshot, remaining, semantics_name=semantics_name)
         else:
             result = peel_subset(graph, remaining, semantics_name=semantics_name)
         community = set(result.community) & remaining
         if not community:
             break
+        # Density via the label path on purpose: it accumulates in the
+        # same association order on every backend, keeping dict and array
+        # enumeration bit-identical (snapshot.subset_density sums pairwise
+        # and can drift by ulps on non-dyadic weights).
         density = subset_density(graph, community)
         if density <= min_density or len(community) < min_size:
             break

@@ -24,6 +24,7 @@ from repro.graph.backend import (
     get_default_backend,
     set_default_backend,
 )
+from repro.graph.csr import CsrSnapshot, freeze_graph
 from repro.graph.delta import EdgeUpdate, GraphDelta
 from repro.graph.graph import DynamicGraph
 from repro.graph.interning import VertexInterner
@@ -33,6 +34,8 @@ from repro.graph.stats import DegreeDistribution, GraphStats, compute_stats, deg
 __all__ = [
     "ArrayGraph",
     "BACKENDS",
+    "CsrSnapshot",
+    "freeze_graph",
     "GraphBackend",
     "VertexInterner",
     "backend_of",

@@ -77,6 +77,8 @@ class ArrayGraph:
         "_total_edge_weight",
         "_scratch_ids",
         "_scratch_w",
+        "_version",
+        "_snapshot_cache",
     )
 
     def __init__(
@@ -100,6 +102,8 @@ class ArrayGraph:
         self._total_edge_weight = 0.0
         self._scratch_ids = np.empty(16, dtype=np.int32)
         self._scratch_w = np.empty(16, dtype=np.float64)
+        self._version = 0
+        self._snapshot_cache = None
         populate_graph(self, vertices, edges)
 
     # ------------------------------------------------------------------ #
@@ -176,10 +180,14 @@ class ArrayGraph:
         if self._member[vid]:
             if weight > self._vw[vid]:
                 self._vw[vid] = float(weight)
+                self._version += 1
+                self._snapshot_cache = None
             return
         self._member[vid] = True
         self._vw[vid] = float(weight)
         self._vertex_order.append(vid)
+        self._version += 1
+        self._snapshot_cache = None
 
     def set_vertex_weight(self, vertex: Vertex, weight: float) -> None:
         """Overwrite the suspiciousness prior of an existing vertex."""
@@ -187,6 +195,8 @@ class ArrayGraph:
         if weight < 0:
             raise InvalidWeightError(f"vertex weight must be >= 0, got {weight} for {vertex!r}")
         self._vw[vid] = float(weight)
+        self._version += 1
+        self._snapshot_cache = None
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return whether ``vertex`` is part of the graph."""
@@ -248,6 +258,8 @@ class ArrayGraph:
         self._iw[sid] += weight
         self._iw[did] += weight
         self._total_edge_weight += weight
+        self._version += 1
+        self._snapshot_cache = None
         return new_weight
 
     def remove_edge(self, src: Vertex, dst: Vertex) -> float:
@@ -265,6 +277,8 @@ class ArrayGraph:
         self._total_edge_weight -= weight
         self._iw[sid] -= weight
         self._iw[did] -= weight
+        self._version += 1
+        self._snapshot_cache = None
         return weight
 
     def _pool_remove(self, sid: int, did: int, out_slot: int, in_slot: int) -> None:
@@ -432,6 +446,25 @@ class ArrayGraph:
         """Return the summed incident weight of the vertex with id ``vid``."""
         return float(self._iw[vid])
 
+    def vertex_weight_ids(self, vids: np.ndarray) -> np.ndarray:
+        """Return the priors ``a_i`` of a whole id array in one gather."""
+        return self._vw[np.asarray(vids, dtype=np.int64)]
+
+    def incident_weight_ids(self, vids: np.ndarray) -> np.ndarray:
+        """Return the maintained incident weights of a whole id array."""
+        return self._iw[np.asarray(vids, dtype=np.int64)]
+
+    def member_degrees(self) -> np.ndarray:
+        """Return the total degrees of all vertices, in insertion order.
+
+        One vectorised gather over the pool-length lists — O(|V|) with no
+        edge traffic, used by :mod:`repro.graph.stats`.
+        """
+        order = np.asarray(self._vertex_order, dtype=np.int64)
+        out_lens = np.asarray(self._out_len, dtype=np.int64)
+        in_lens = np.asarray(self._in_len, dtype=np.int64)
+        return out_lens[order] + in_lens[order]
+
     def incident_arrays_id(self, vid: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(neighbor_ids, weights)`` views over all incident edges.
 
@@ -461,6 +494,95 @@ class ArrayGraph:
         return ids[:n], weights[:n]
 
     # ------------------------------------------------------------------ #
+    # Snapshot export
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by every structural change)."""
+        return self._version
+
+    def freeze(self) -> "CsrSnapshot":
+        """Freeze the mutable pools into an immutable CSR snapshot.
+
+        O(|V| + |E|): the offset arrays are a cumsum over the pool lengths
+        and the neighbor/weight arrays one concatenation plus a vectorised
+        tail mask, preserving pool (= enumeration) order exactly — which
+        is what makes the CSR static peel bit-identical to the heap peel.
+        The returned :class:`~repro.graph.csr.CsrSnapshot` is decoupled
+        from this graph; use :meth:`CsrSnapshot.is_stale` to detect later
+        mutations (every mutation bumps :attr:`version`).
+
+        Because snapshots are immutable, the last one is cached and
+        returned for free until the next mutation — consecutive read-path
+        consumers (enumeration, stats, the exact solver, ``peel_csr``)
+        share a single freeze.
+        """
+        cached = self._snapshot_cache
+        if cached is not None and cached.source_version == self._version:
+            return cached
+
+        from repro.graph.csr import CsrSnapshot, _frozen
+
+        size = len(self._interner)
+        pooled = len(self._out_len)  # ids with allocated pools (<= size)
+
+        def direction(nbr_pools, w_pools, lens):
+            counts = np.zeros(size, dtype=np.int64)
+            if pooled:
+                counts[:pooled] = lens
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            # Concatenate the raw pools (capacity included) and drop the
+            # unused tails with one vectorised mask — cheaper than
+            # materialising a trimmed view per vertex.
+            live = [a for a in nbr_pools if a is not None]
+            if not live:
+                return (
+                    _frozen(offsets),
+                    _frozen(np.empty(0, np.int32)),
+                    _frozen(np.empty(0, np.float64)),
+                )
+            caps = np.fromiter(
+                (0 if a is None else len(a) for a in nbr_pools),
+                dtype=np.int64,
+                count=len(nbr_pools),
+            )
+            full_nbr = np.concatenate(live)
+            full_w = np.concatenate([a for a in w_pools if a is not None])
+            prefix = np.concatenate(([0], np.cumsum(caps)[:-1]))
+            keep = (
+                np.arange(int(caps.sum()), dtype=np.int64) - np.repeat(prefix, caps)
+            ) < np.repeat(counts[:pooled], caps)
+            return _frozen(offsets), _frozen(full_nbr[keep]), _frozen(full_w[keep])
+
+        out_offsets, out_neighbors, out_weights = direction(
+            self._out_nbr, self._out_w, self._out_len
+        )
+        in_offsets, in_neighbors, in_weights = direction(
+            self._in_nbr, self._in_w, self._in_len
+        )
+        vertex_weights = np.zeros(size, dtype=np.float64)
+        member = np.zeros(size, dtype=bool)
+        covered = min(size, len(self._vw))
+        vertex_weights[:covered] = self._vw[:covered]
+        member[:covered] = self._member[:covered]
+        snapshot = CsrSnapshot(
+            order=_frozen(np.asarray(self._vertex_order, dtype=np.int32)),
+            member=_frozen(member),
+            vertex_weights=_frozen(vertex_weights),
+            out_offsets=out_offsets,
+            out_neighbors=out_neighbors,
+            out_weights=out_weights,
+            in_offsets=in_offsets,
+            in_neighbors=in_neighbors,
+            in_weights=in_weights,
+            total_edge_weight=self._total_edge_weight,
+            source_version=self._version,
+            labels=list(self._interner._labels),
+        )
+        self._snapshot_cache = snapshot
+        return snapshot
+
+    # ------------------------------------------------------------------ #
     # Whole-graph helpers
     # ------------------------------------------------------------------ #
     def total_suspiciousness(self) -> float:
@@ -484,6 +606,10 @@ class ArrayGraph:
         clone._edge_slots = dict(self._edge_slots)
         clone._num_edges = self._num_edges
         clone._total_edge_weight = self._total_edge_weight
+        clone._version = self._version
+        # Snapshots are immutable, so sharing the cache across copies is
+        # safe: either copy invalidates it with its first mutation.
+        clone._snapshot_cache = self._snapshot_cache
         return clone
 
     def __contains__(self, vertex: Vertex) -> bool:

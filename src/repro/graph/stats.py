@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -78,11 +78,28 @@ class DegreeDistribution:
         return heavy / total
 
 
+def _member_degrees(graph) -> Optional[np.ndarray]:
+    """Vectorised member degrees, when the backend exposes them.
+
+    Prefers the O(|V|) pool-length gather (no edge traffic); a cached
+    fresh CSR snapshot is equivalent but freezing one just for degrees
+    would copy every edge array.
+    """
+    degrees = getattr(graph, "member_degrees", None)
+    if degrees is not None:
+        return degrees()
+    return None
+
+
 def compute_stats(graph: DynamicGraph) -> GraphStats:
     """Compute :class:`GraphStats` for ``graph``."""
     n = graph.num_vertices()
     m = graph.num_edges()
-    max_degree = max((graph.degree(v) for v in graph.vertices()), default=0)
+    degrees = _member_degrees(graph)
+    if degrees is not None:
+        max_degree = int(degrees.max()) if len(degrees) else 0
+    else:
+        max_degree = max((graph.degree(v) for v in graph.vertices()), default=0)
     avg_degree = (2.0 * m / n) if n else 0.0
     return GraphStats(
         num_vertices=n,
@@ -96,6 +113,16 @@ def compute_stats(graph: DynamicGraph) -> GraphStats:
 
 def degree_distribution(graph: DynamicGraph) -> DegreeDistribution:
     """Compute the (total-degree) histogram of ``graph`` (Figure 9b)."""
+    member_degrees = _member_degrees(graph)
+    if member_degrees is not None:
+        if len(member_degrees) == 0:
+            return DegreeDistribution(degrees=(), frequencies=())
+        histogram = np.bincount(member_degrees)
+        observed = np.nonzero(histogram)[0]
+        return DegreeDistribution(
+            degrees=tuple(int(d) for d in observed),
+            frequencies=tuple(int(f) for f in histogram[observed]),
+        )
     counter: Counter = Counter(graph.degree(v) for v in graph.vertices())
     degrees = tuple(sorted(counter))
     frequencies = tuple(counter[d] for d in degrees)

@@ -27,7 +27,7 @@ from repro.peeling.semantics import (
     subset_density,
     subset_suspiciousness,
 )
-from repro.peeling.static import peel, peel_subset
+from repro.peeling.static import peel, peel_csr, peel_subset, peel_subset_csr
 from repro.peeling.exact import brute_force_densest, goldberg_densest
 from repro.peeling.guarantees import (
     check_approximation_guarantee,
@@ -45,7 +45,9 @@ __all__ = [
     "subset_density",
     "subset_suspiciousness",
     "peel",
+    "peel_csr",
     "peel_subset",
+    "peel_subset_csr",
     "brute_force_densest",
     "goldberg_densest",
     "check_approximation_guarantee",

@@ -26,6 +26,8 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, FrozenSet, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.semantics import subset_density
@@ -77,7 +79,40 @@ def brute_force_densest(graph: DynamicGraph) -> ExactResult:
 
 
 def _undirected_weights(graph: DynamicGraph) -> Dict[Tuple[Vertex, Vertex], float]:
-    """Collapse the directed edge weights into undirected pair weights."""
+    """Collapse the directed edge weights into undirected pair weights.
+
+    Backends that can freeze (array) take a vectorised route over the CSR
+    snapshot's flat edge arrays — canonicalise each pair by dense id, group
+    with ``np.unique`` and sum with a weighted ``bincount`` — instead of a
+    per-edge Python loop.  The key orientation (``repr`` order) matches the
+    reference path so downstream consumers see identical dictionaries.
+    """
+    if hasattr(graph, "freeze"):
+        snapshot = graph.freeze()
+        src, dst, weights = snapshot.edge_arrays()
+        if len(src) == 0:
+            return {}
+        lo = np.minimum(src, dst).astype(np.int64)
+        hi = np.maximum(src, dst).astype(np.int64)
+        packed = lo * snapshot.num_ids + hi
+        unique, first_seen, inverse = np.unique(
+            packed, return_index=True, return_inverse=True
+        )
+        # bincount accumulates duplicates in edge order, and emitting the
+        # pairs by first occurrence restores the reference path's dict
+        # insertion order — the result is identical including iteration
+        # order, so downstream sequential accumulations don't drift.
+        sums = np.bincount(inverse, weights=weights)
+        by_first_seen = np.argsort(first_seen, kind="stable")
+        unique = unique[by_first_seen]
+        sums = sums[by_first_seen]
+        lo_labels = snapshot.labels_for(unique // snapshot.num_ids)
+        hi_labels = snapshot.labels_for(unique % snapshot.num_ids)
+        pair_weight = {}
+        for a, b, total in zip(lo_labels, hi_labels, sums.tolist()):
+            key = (a, b) if repr(a) <= repr(b) else (b, a)
+            pair_weight[key] = total
+        return pair_weight
     pair_weight: Dict[Tuple[Vertex, Vertex], float] = {}
     for src, dst, weight in graph.edges():
         key = (src, dst) if repr(src) <= repr(dst) else (dst, src)

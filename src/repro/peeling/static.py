@@ -43,15 +43,31 @@ from typing import AbstractSet, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.backend import SMALL_DEGREE
+from repro.graph.csr import CsrSnapshot, freeze_graph
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.result import PeelingResult
 
-__all__ = ["peel", "peel_subset", "peel_subset_ids", "peeling_weights"]
+__all__ = [
+    "peel",
+    "peel_csr",
+    "peel_subset",
+    "peel_subset_csr",
+    "peel_subset_ids",
+    "peel_csr_ids",
+    "peeling_weights",
+]
 
 
 def peeling_weights(graph, subset: Optional[AbstractSet[Vertex]] = None) -> Dict[Vertex, float]:
     """Return ``w_u(S)`` for every ``u`` in ``S`` (default: the whole graph)."""
     if subset is None:
+        if hasattr(graph, "vertex_weight_ids"):
+            # Whole-graph fast path: one vectorised gather over the dense
+            # prior/incident-weight arrays instead of two method calls per
+            # vertex.  Bit-identical to the scalar path (same f64 adds).
+            ids = graph.vertex_ids()
+            totals = graph.vertex_weight_ids(ids) + graph.incident_weight_ids(ids)
+            return dict(zip(graph.interner.labels_for(ids), totals.tolist()))
         weights = {}
         for vertex in graph.vertices():
             weights[vertex] = graph.vertex_weight(vertex) + graph.incident_weight(vertex)
@@ -188,3 +204,195 @@ def _peel_ids(
     if as_ids:
         return np.asarray(order_ids, dtype=np.int32), out_weights, total
     return interner.labels_for(order_ids), out_weights, total
+
+
+# ---------------------------------------------------------------------- #
+# CSR fast path
+# ---------------------------------------------------------------------- #
+def _as_snapshot(source) -> CsrSnapshot:
+    """Coerce a graph or snapshot into a :class:`CsrSnapshot`."""
+    if isinstance(source, CsrSnapshot):
+        return source
+    return freeze_graph(source)
+
+
+def peel_csr(source, semantics_name: str = "custom") -> PeelingResult:
+    """Run Algorithm 1 over an immutable CSR snapshot (the fast path).
+
+    ``source`` is either a :class:`~repro.graph.csr.CsrSnapshot` or a graph
+    (frozen on the fly — freezing is O(|V| + |E|) and is included in what a
+    fair static-baseline measurement should time).  Produces the same
+    peeling sequence, weights and densities as :func:`peel` on the source
+    graph — bit-identical, not merely equivalent: neighbor runs preserve
+    enumeration order and every floating-point accumulation follows the
+    same association shape as the heap-based loop.
+    """
+    snapshot = _as_snapshot(source)
+    order_ids, weights, total = _peel_csr_ids(snapshot, None)
+    return PeelingResult.from_sequence(
+        snapshot.labels_for(order_ids), weights, total, semantics_name=semantics_name
+    )
+
+
+def peel_subset_csr(
+    source,
+    subset: AbstractSet[Vertex],
+    semantics_name: str = "custom",
+) -> PeelingResult:
+    """CSR twin of :func:`peel_subset`: peel the induced subgraph ``G[S]``."""
+    snapshot = _as_snapshot(source)
+    member = snapshot.member
+    ids = np.array(
+        sorted(
+            vid
+            for vid in (snapshot.id_of(v) for v in subset)
+            if vid >= 0 and member[vid]
+        ),
+        dtype=np.int32,
+    )
+    order_ids, weights, total = _peel_csr_ids(snapshot, ids)
+    return PeelingResult.from_sequence(
+        snapshot.labels_for(order_ids), weights, total, semantics_name=semantics_name
+    )
+
+
+def peel_csr_ids(source, member_ids=None) -> Tuple[np.ndarray, List[float], float]:
+    """Id-based CSR peel (the maintenance twin of :func:`peel_subset_ids`).
+
+    ``member_ids`` (dense ids, any order — sorted internally) defaults to
+    every member vertex of the snapshot.
+    """
+    snapshot = _as_snapshot(source)
+    if member_ids is not None:
+        member_ids = np.sort(np.asarray(member_ids, dtype=np.int32))
+    return _peel_csr_ids(snapshot, member_ids)
+
+
+def _peel_csr_ids(
+    snapshot: CsrSnapshot,
+    member_ids: Optional[np.ndarray],
+) -> Tuple[np.ndarray, List[float], float]:
+    """Greedy peeling over the combined-incidence CSR of a snapshot.
+
+    Two phases, both bit-identical to :func:`_peel_ids`:
+
+    1. **Vectorised initialisation** — the member-restricted incident
+       weight of every vertex in a handful of whole-graph numpy passes
+       (see the lane-transpose trick below), reproducing the heap path's
+       exact association order per vertex.
+    2. **Flat greedy loop** — the lazy-deletion min-heap loop over the
+       flattened CSR adjacency: one list read, one float subtraction and
+       one heap push per live incident edge, with periodic heap
+       compaction that keeps the queue at O(live vertices) instead of
+       O(|E|) stale entries.
+    """
+    inc_off, inc_mid, inc_nbr, inc_w = snapshot.incidence()
+    num_ids = snapshot.num_ids
+    if member_ids is None:
+        member_ids = snapshot.order
+    k = len(member_ids)
+    if k == 0:
+        return np.empty(0, dtype=np.int32), [], 0.0
+
+    member = np.zeros(num_ids, dtype=bool)
+    member[member_ids] = True
+
+    # --- initial peeling weights, vectorised ------------------------- #
+    # The heap path accumulates each vertex's member-incident weights
+    # sequentially (degree <= SMALL_DEGREE) or pairwise over the compacted
+    # member weights (heavier).  Both shapes are reproduced exactly here —
+    # naive alternatives such as ``np.add.reduceat`` use a different
+    # association order and drift by ulps, which breaks tie-breaks.
+    counts = inc_off[1:] - inc_off[:-1]
+    incident = np.zeros(num_ids, dtype=np.float64)
+    if len(inc_nbr):
+        masked = np.where(member[inc_nbr], inc_w, 0.0)
+        small = np.nonzero(member & (counts > 0) & (counts <= SMALL_DEGREE))[0]
+        if len(small):
+            # Lane transpose: row j holds every small segment's j-th
+            # element (0.0-padded), so summing the rows top-down performs,
+            # per vertex, the exact left-to-right scalar accumulation —
+            # in at most SMALL_DEGREE vectorised adds for all of them.
+            seg_counts = counts[small]
+            prefix = np.concatenate(([0], np.cumsum(seg_counts)[:-1]))
+            flat = np.arange(int(seg_counts.sum()), dtype=np.int64)
+            positions = flat + np.repeat(inc_off[small] - prefix, seg_counts)
+            within = flat - np.repeat(prefix, seg_counts)
+            seg_index = np.repeat(np.arange(len(small), dtype=np.int64), seg_counts)
+            lanes = np.zeros((int(seg_counts.max()), len(small)), dtype=np.float64)
+            lanes[within, seg_index] = masked[positions]
+            acc = lanes[0].copy()
+            for row in lanes[1:]:
+                acc += row
+            incident[small] = acc
+        for vid in np.nonzero(member & (counts > SMALL_DEGREE))[0].tolist():
+            s, e = inc_off[vid], inc_off[vid + 1]
+            incident[vid] = inc_w[s:e][member[inc_nbr[s:e]]].sum()
+
+    current = np.zeros(num_ids, dtype=np.float64)
+    current[member_ids] = snapshot.vertex_weights[member_ids] + incident[member_ids]
+
+    vertex_part = snapshot.vertex_weights[member_ids]
+    if np.count_nonzero(vertex_part):
+        # Sequential accumulation, matching the heap path's running sum.
+        total = 0.0
+        for value in vertex_part.tolist():
+            total += value
+    else:
+        total = 0.0
+    edge_total = (float(current[member_ids].sum()) - total) / 2.0
+    total += edge_total
+
+    # --- greedy loop over the flattened CSR -------------------------- #
+    # The loop runs over plain Python lists materialised once from the
+    # flat CSR arrays: per incident edge it is one list read, one float
+    # subtraction and one heap push — no numpy scalar dispatches, no
+    # incident_arrays_id scratch copies, no dict probes.  Arithmetic is
+    # the same IEEE f64 sequence as the heap path, so the output is
+    # bit-identical.
+    member_list = member_ids.tolist()
+    # None marks "not part of this run" (non-members and, later, peeled
+    # vertices); only members start with a float value.
+    cur: List[Optional[float]] = [None] * num_ids
+    for vid, value in zip(member_list, current[member_ids].tolist()):
+        cur[vid] = value
+    off, nbrs, wts = snapshot.flat_incidence()
+
+    heap: List[Tuple[float, int]] = list(zip(current[member_ids].tolist(), member_list))
+    heapq.heapify(heap)
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+
+    order_ids: List[int] = []
+    out_weights: List[float] = []
+    live_count = k
+
+    while heap:
+        weight, vid = heappop(heap)
+        if cur[vid] != weight:
+            # Stale lazy-deletion entry, or an already-removed vertex
+            # (removal stores None, which never equals a float); the
+            # fresh entry (if any) is still queued.
+            continue
+        cur[vid] = None
+        live_count -= 1
+        order_ids.append(vid)
+        out_weights.append(weight)
+        for i in range(off[vid], off[vid + 1]):
+            nbr = nbrs[i]
+            value = cur[nbr]
+            if value is not None:
+                value -= wts[i]
+                cur[nbr] = value
+                heappush(heap, (value, nbr))
+        if len(heap) > 4096 and len(heap) > 2 * live_count:
+            # Compact the lazy heap: drop every stale entry in one
+            # heapify instead of popping them one by one.  A vertex's
+            # value strictly decreases, so exactly one entry per live
+            # vertex survives the filter; stale entries never produce
+            # output, so compaction cannot change the peeling sequence —
+            # it only bounds the heap at O(live vertices).
+            heap = [entry for entry in heap if cur[entry[1]] == entry[0]]
+            heapq.heapify(heap)
+
+    return np.asarray(order_ids, dtype=np.int32), out_weights, total

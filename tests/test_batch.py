@@ -25,9 +25,28 @@ class TestNormalizeUpdates:
         assert [u.edge for u in normalize_updates(delta)] == [("a", "b")]
         assert [u.edge for u in normalize_updates([EdgeUpdate("x", "y")])] == [("x", "y")]
 
+    def test_accepts_lists_and_general_sequences(self):
+        # JSONL replay hands back lists, not tuples.
+        updates = normalize_updates([["a", "b"], ["b", "c", 2.0], ("c", "d", 3)])
+        assert [u.edge for u in updates] == [("a", "b"), ("b", "c"), ("c", "d")]
+        assert updates[1].weight == 2.0
+        assert updates[2].weight == 3.0
+
+    def test_list_batch_round_trips_through_insert_batch(self):
+        state = build_state([(0, 1, 1.0), (1, 2, 2.0)])
+        insert_batch(state, [[0, 2, 0.5], [2, 3, 1.25]])
+        assert state.graph.has_edge(0, 2) and state.graph.has_edge(2, 3)
+        assert_matches_static(state)
+
     def test_rejects_garbage(self):
         with pytest.raises(TypeError):
             normalize_updates([("a",)])
+        with pytest.raises(TypeError):
+            normalize_updates([["a", "b", 1.0, "extra"]])
+        with pytest.raises(TypeError):
+            normalize_updates(["ab"])  # strings are not edge sequences
+        with pytest.raises(TypeError):
+            normalize_updates([42])
 
 
 class TestBatchInsertion:
