@@ -17,6 +17,10 @@ The package is organised as follows:
     The Spade framework itself: the public :class:`~repro.core.Spade` API,
     incremental single-edge reordering, batch reordering, edge grouping,
     edge deletion, dense-subgraph enumeration and time-window maintenance.
+``repro.engine``
+    The engine layer: the :class:`~repro.engine.DetectionEngine` protocol
+    extracted from ``Spade``, the hash-partitioned
+    :class:`~repro.engine.ShardedSpade`, and the ``create_engine`` factory.
 ``repro.streaming``
     Timestamped update streams, the simulated clock, batching policies and
     the latency / prevention-ratio metrics of Section 4.3.
@@ -48,6 +52,7 @@ Quickstart::
 
 from repro._version import __version__
 from repro.core.spade import Spade
+from repro.engine import DetectionEngine, ShardedSpade, create_engine
 from repro.graph.array_graph import ArrayGraph
 from repro.graph.backend import create_graph, get_default_backend, set_default_backend
 from repro.graph.graph import DynamicGraph
@@ -65,6 +70,9 @@ from repro.peeling.static import peel
 __all__ = [
     "__version__",
     "Spade",
+    "DetectionEngine",
+    "ShardedSpade",
+    "create_engine",
     "ArrayGraph",
     "DynamicGraph",
     "VertexInterner",

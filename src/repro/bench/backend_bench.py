@@ -19,10 +19,18 @@ backend comparison to ``BENCH_backend.json`` and — whenever the ``csr``
 method is selected — the heap-vs-CSR static-peel comparison
 (:func:`run_static_comparison`: cold freeze, snapshot-resident peel and a
 bit-identity check) to ``BENCH_csr.json``.
-Acceptance bars: array ≥ 2× dict single-edge insert throughput, and the
-snapshot-resident CSR peel ≥ 3× the heap peel.  ``--quick`` shrinks the
-workload for CI smoke runs; a sequence mismatch between the heap and CSR
-peels makes the process exit non-zero so CI fails loudly.
+With ``--shards N`` (N > 1) the run additionally compares the single
+engine against a hash-partitioned :class:`~repro.engine.ShardedSpade` on
+the same stream (:func:`run_sharded_comparison`, ``BENCH_shard.json``)
+and verifies the merged sharded detection is identical to the single
+engine's.
+
+Acceptance bars: array ≥ 2× dict single-edge insert throughput, the
+snapshot-resident CSR peel ≥ 3× the heap peel, and the sharded engine
+≥ 1.5× the single engine's insert throughput at 4 shards.  ``--quick``
+shrinks the workload for CI smoke runs; a sequence mismatch between the
+heap and CSR peels — or between the sharded and single communities —
+makes the process exit non-zero so CI fails loudly.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro._version import __version__
 from repro.core.insertion import insert_edge
 from repro.core.spade import Spade
 from repro.core.state import PeelingState
+from repro.engine import ShardedSpade
 from repro.peeling.semantics import dw_semantics
 from repro.peeling.static import peel, peel_csr
 
@@ -47,6 +56,7 @@ __all__ = [
     "run_backend",
     "run_comparison",
     "run_static_comparison",
+    "run_sharded_comparison",
     "main",
 ]
 
@@ -285,6 +295,102 @@ def run_static_comparison(
     }
 
 
+def run_sharded_comparison(
+    num_vertices: int = DEFAULT_VERTICES,
+    num_initial: int = DEFAULT_INITIAL_EDGES,
+    num_increments: int = DEFAULT_INCREMENTS,
+    seed: int = 42,
+    repeats: int = 2,
+    num_shards: int = 4,
+    coordinator_interval: int = 1024,
+) -> Dict[str, object]:
+    """Single engine vs ``ShardedSpade`` on the fig10 single-edge stream.
+
+    Both engines replay the same increments through their public
+    ``insert_edge`` (each returning its per-update community view: exact
+    for the single engine, shard-local for the sharded one); the sharded
+    timing *includes* the final coordinator pass that drains the
+    cross-shard queue, so no parked work escapes the measurement.  After
+    the replay the sharded engine's merged ``detect()`` is compared with
+    the single engine's — the stream is dyadic, so the communities must
+    be identical bit for bit; a mismatch fails the caller (CI smoke).
+    """
+    initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
+
+    single_s = float("inf")
+    single = None
+    for _ in range(repeats):
+        single = Spade(dw_semantics(), backend="array")
+        single.load_edges(initial)
+        began = time.perf_counter()
+        for src, dst, weight in increments:
+            single.insert_edge(src, dst, weight)
+        single_s = min(single_s, time.perf_counter() - began)
+
+    sharded_s = float("inf")
+    sharded = None
+    for _ in range(repeats):
+        sharded = ShardedSpade(
+            dw_semantics(),
+            num_shards=num_shards,
+            backend="array",
+            coordinator_interval=coordinator_interval,
+        )
+        sharded.load_edges(initial)
+        began = time.perf_counter()
+        for src, dst, weight in increments:
+            sharded.insert_edge(src, dst, weight)
+        sharded.flush_pending()
+        sharded_s = min(sharded_s, time.perf_counter() - began)
+
+    single_community = single.detect()
+    merged_community = sharded.detect()
+    match = (
+        single_community.vertices == merged_community.vertices
+        and single_community.density == merged_community.density
+    )
+    speedup = single_s / sharded_s if sharded_s > 0 else float("inf")
+    per_edge_single = single_s / len(increments)
+    per_edge_sharded = sharded_s / len(increments)
+    total_routed = sharded.intra_shard_updates + sharded.cross_shard_updates
+    return {
+        "experiment": "fig10-single-vs-sharded-insert-throughput",
+        "description": (
+            "single-edge insertion throughput (|ΔE| = 1, DW, array backend) of "
+            "the single Spade engine vs ShardedSpade with hash-partitioned "
+            "shards; sharded timing includes the coordinator pass"
+        ),
+        "version": __version__,
+        "workload": {
+            "num_vertices": num_vertices,
+            "initial_edges": num_initial,
+            "increment_edges": num_increments,
+            "seed": seed,
+            "semantics": "DW",
+            "repeats": repeats,
+            "num_shards": num_shards,
+            "coordinator_interval": coordinator_interval,
+        },
+        "single": {
+            "insert_per_edge_us": round(per_edge_single * 1e6, 3),
+            "insert_throughput_eps": round(1.0 / per_edge_single, 1),
+        },
+        "sharded": {
+            "insert_per_edge_us": round(per_edge_sharded * 1e6, 3),
+            "insert_throughput_eps": round(1.0 / per_edge_sharded, 1),
+            "shard_vertex_counts": sharded.router.partition_counts(),
+            "cross_shard_share": round(
+                sharded.cross_shard_updates / total_routed if total_routed else 0.0, 4
+            ),
+            "coordinator_flushes": sharded.coordinator_flushes,
+        },
+        "sharded_over_single_insert_speedup": round(speedup, 2),
+        "communities_match": bool(match),
+        "target": f"ShardedSpade >= 1.5x single-engine insert throughput at {num_shards} shards",
+        "target_met": bool(match and speedup >= 1.5),
+    }
+
+
 def main() -> None:
     """CLI entry point: run the comparisons and persist the JSON reports."""
     parser = argparse.ArgumentParser(description="dict vs array backend micro-benchmark")
@@ -310,12 +416,26 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true", help="small workload for CI smoke runs"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also run the single-vs-sharded comparison with this many "
+        "shard engines (>= 1; 0 = skip); a sharded-vs-single community "
+        "mismatch makes the process exit non-zero",
+    )
     parser.add_argument("--output", type=Path, default=Path("BENCH_backend.json"))
     parser.add_argument(
         "--csr-output",
         type=Path,
         default=Path("BENCH_csr.json"),
         help="where the heap-vs-CSR static comparison is written",
+    )
+    parser.add_argument(
+        "--shard-output",
+        type=Path,
+        default=Path("BENCH_shard.json"),
+        help="where the single-vs-sharded comparison is written",
     )
     args = parser.parse_args()
 
@@ -365,8 +485,31 @@ def main() -> None:
             f"{'MATCH' if csr_report['sequences_match'] else 'MISMATCH'}"
         )
         ok = bool(csr_report["sequences_match"])
+    if args.shards >= 1:
+        shard_report = run_sharded_comparison(
+            num_vertices=vertices,
+            num_initial=initial_edges,
+            num_increments=increments,
+            seed=args.seed,
+            repeats=args.repeats,
+            num_shards=args.shards,
+        )
+        args.shard_output.write_text(json.dumps(shard_report, indent=2) + "\n")
+        print(
+            f"sharded ({args.shards} shards): "
+            f"{shard_report['sharded']['insert_per_edge_us']:9.2f} us/edge vs single "
+            f"{shard_report['single']['insert_per_edge_us']:9.2f} us/edge — "
+            f"{shard_report['sharded_over_single_insert_speedup']}x, communities "
+            f"{'MATCH' if shard_report['communities_match'] else 'MISMATCH'}"
+        )
+        if not shard_report["communities_match"]:
+            print(
+                "ERROR: sharded merged detect() diverged from the single engine",
+                file=sys.stderr,
+            )
+            ok = False
     if not ok:
-        print("ERROR: CSR static peel diverged from the heap peel", file=sys.stderr)
+        print("ERROR: benchmark consistency check failed", file=sys.stderr)
         sys.exit(1)
 
 

@@ -59,7 +59,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 for size in batches
             ]
             for label, policy in policies:
-                spade = build_engine(dataset, semantics)
+                spade = build_engine(dataset, semantics, backend=config.backend, shards=config.shards)
                 report = replay_stream(
                     spade, stream, policy, fraud_communities=truth, ban_detected=True
                 )

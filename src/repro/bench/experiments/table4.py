@@ -51,7 +51,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 "static (s)": round(static_seconds, 4),
             }
             for size in batch_sizes:
-                spade = build_engine(dataset, semantics)
+                spade = build_engine(dataset, semantics, backend=config.backend, shards=config.shards)
                 policy = PerEdgePolicy() if size == 1 else BatchPolicy(size)
                 report = replay_stream(spade, stream, policy)
                 row[f"|ΔE|={size} (us/edge)"] = round(

@@ -67,7 +67,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             ]
             static_latency = None
             for label, policy in configurations:
-                spade = build_engine(dataset, semantics)
+                spade = build_engine(dataset, semantics, backend=config.backend, shards=config.shards)
                 report = replay_stream(spade, stream, policy, fraud_communities=truth)
                 metrics = report.metrics
                 if static_latency is None:

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.spade import Spade
+from repro.engine import DetectionEngine, create_engine
 from repro.peeling.semantics import (
     PeelingSemantics,
     dg_semantics,
@@ -74,6 +74,9 @@ class ExperimentConfig:
     #: Static-peel method for the baselines: "heap" (Algorithm 1 over the
     #: mutable graph) or "csr" (vectorised peel over a frozen CSR snapshot).
     static: str = "heap"
+    #: Number of shard engines (1 = single-engine Spade; > 1 builds a
+    #: ShardedSpade partitioned over that many shards).
+    shards: int = 1
 
     @classmethod
     def quick_config(cls, **overrides) -> "ExperimentConfig":
@@ -164,9 +167,15 @@ def build_engine(
     semantics: PeelingSemantics,
     edge_grouping: bool = False,
     backend: Optional[str] = None,
-) -> Spade:
-    """Build a Spade engine loaded with the dataset's initial graph."""
-    spade = Spade(semantics, edge_grouping=edge_grouping, backend=backend)
+    shards: int = 1,
+) -> DetectionEngine:
+    """Build a detection engine loaded with the dataset's initial graph.
+
+    ``shards = 1`` (the default) builds the classic single-engine
+    ``Spade``; larger values build a ``ShardedSpade`` hash-partitioned
+    over that many shard engines.
+    """
+    spade = create_engine(semantics, shards=shards, edge_grouping=edge_grouping, backend=backend)
     spade.load_graph(dataset.initial_graph(semantics))
     return spade
 
@@ -239,6 +248,13 @@ def standard_argument_parser(description: str) -> argparse.ArgumentParser:
         help="static-peel method for baselines: heap (Algorithm 1) or csr "
         "(vectorised peel over a frozen CSR snapshot)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of shard engines (1 = single-engine Spade, > 1 = "
+        "hash-partitioned ShardedSpade)",
+    )
     return parser
 
 
@@ -256,4 +272,6 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config.backend = args.backend
     if getattr(args, "static", None):
         config.static = args.static
+    if getattr(args, "shards", None):
+        config.shards = args.shards
     return config

@@ -64,6 +64,13 @@ __all__ = ["Spade"]
 class Spade:
     """Real-time fraud detection by incremental peeling on evolving graphs.
 
+    This is the *single-shard* implementation of the
+    :class:`repro.engine.protocol.DetectionEngine` protocol; consumers
+    that should scale across cores construct engines through
+    :func:`repro.engine.create_engine`, which partitions the vertex space
+    over several of these behind a coordinator
+    (:class:`repro.engine.sharded.ShardedSpade`).
+
     Parameters
     ----------
     semantics:
@@ -228,20 +235,28 @@ class Spade:
         dst: Vertex,
         weight: float = 1.0,
         timestamp: Optional[float] = None,
+        src_prior: Optional[float] = None,
+        dst_prior: Optional[float] = None,
     ) -> Community:
         """Insert one transaction and return the updated community.
 
         With edge grouping enabled the edge may be deferred (benign) — the
         returned community then reflects the graph *without* the buffered
         benign edges, exactly as in the paper's deployment.
+
+        ``src_prior`` / ``dst_prior`` are optional vertex suspiciousness
+        priors ("side information") honoured only when the endpoint is
+        new; existing vertices keep their current prior.
         """
         state = self.state
         if self._grouper is not None:
-            update = EdgeUpdate(src, dst, weight)
+            update = EdgeUpdate(src, dst, weight, src_weight=src_prior, dst_weight=dst_prior)
             flush = self._grouper.offer(update, timestamp=timestamp)
             self.last_stats = flush.stats
             return state.community()
-        self.last_stats = _insert_edge(state, src, dst, raw_weight=weight)
+        self.last_stats = _insert_edge(
+            state, src, dst, raw_weight=weight, src_prior=src_prior, dst_prior=dst_prior
+        )
         return state.community()
 
     def insert_batch_edges(self, batch: BatchInput) -> Community:
@@ -264,8 +279,16 @@ class Spade:
         return state.community()
 
     def flush_pending(self) -> Community:
-        """Force-flush the benign-edge buffer (no-op without edge grouping)."""
-        if self._grouper is not None:
+        """Force-flush the benign-edge buffer (no-op without edge grouping).
+
+        With nothing buffered this is a guaranteed fast path: the grouper
+        is never invoked and the cached community is returned as-is.  The
+        sharded coordinator (:class:`repro.engine.sharded.ShardedSpade`)
+        calls this on every tick for every shard, so the empty case is
+        pinned O(1) by an explicit guard and a regression test rather
+        than left to the grouper's own early return.
+        """
+        if self._grouper is not None and self._grouper.pending():
             self._grouper.flush()
         return self.state.community()
 

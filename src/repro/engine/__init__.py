@@ -1,0 +1,59 @@
+"""The engine layer: one protocol, two interchangeable implementations.
+
+* :class:`~repro.engine.protocol.DetectionEngine` — the structural
+  protocol (load / detect / insert / insert_batch / delete / flush /
+  enumerate) extracted from the historical ``Spade`` surface;
+* :class:`~repro.core.spade.Spade` — the paper's single engine (re-exported
+  here as the single-shard implementation);
+* :class:`~repro.engine.sharded.ShardedSpade` — hash-partitioned shard
+  engines behind a coordinator queue, for multi-core scaling;
+* :func:`create_engine` — the factory consumers (streaming replay, the
+  Grab pipeline, the bench harness) construct engines through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.spade import Spade
+from repro.engine.protocol import DetectionEngine
+from repro.engine.router import ShardRouter
+from repro.engine.sharded import ShardedSpade
+from repro.peeling.semantics import PeelingSemantics
+
+__all__ = [
+    "DetectionEngine",
+    "Spade",
+    "ShardedSpade",
+    "ShardRouter",
+    "create_engine",
+]
+
+
+def create_engine(
+    semantics: Optional[PeelingSemantics] = None,
+    shards: int = 1,
+    edge_grouping: bool = False,
+    backend: Optional[str] = None,
+    **sharded_options,
+) -> DetectionEngine:
+    """Build a detection engine: single-shard ``Spade`` or ``ShardedSpade``.
+
+    ``shards <= 1`` returns the plain single engine; anything larger
+    returns a :class:`ShardedSpade` partitioned over that many shard
+    engines.  ``sharded_options`` (``coordinator_interval``,
+    ``executor``) are forwarded to :class:`ShardedSpade` and rejected for
+    the single engine.
+    """
+    if shards <= 1:
+        if sharded_options:
+            unknown = ", ".join(sorted(sharded_options))
+            raise TypeError(f"single-engine Spade accepts no sharded options ({unknown})")
+        return Spade(semantics, edge_grouping=edge_grouping, backend=backend)
+    return ShardedSpade(
+        semantics,
+        num_shards=shards,
+        edge_grouping=edge_grouping,
+        backend=backend,
+        **sharded_options,
+    )

@@ -1,0 +1,61 @@
+"""Process-parallel per-shard peeling over mmap-shared CSR snapshots.
+
+The optional ``multiprocessing`` executor of
+:class:`~repro.engine.sharded.ShardedSpade`: each shard's graph is frozen
+into an immutable :class:`~repro.graph.csr.CsrSnapshot` (PR 2), persisted
+as an *uncompressed* ``.npz`` and loaded in the worker with
+``mmap_mode="r"`` — the numeric arrays are memory-mapped straight out of
+the archive, so the per-worker load is zero-copy and the page cache is
+shared across workers.  The workers then run the vectorised
+:func:`~repro.peeling.static.peel_csr`, which is bit-identical to the
+shards' incrementally maintained answers.
+
+Only the built-in, name-addressable semantics matter here: snapshots carry
+final weights, so workers never evaluate ``vsusp`` / ``esusp`` and only
+need the display name for labelling the result.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional
+
+from repro.graph.csr import CsrSnapshot, freeze_graph
+from repro.peeling.result import PeelingResult
+from repro.peeling.static import peel_csr
+
+__all__ = ["parallel_shard_results", "peel_snapshot_file"]
+
+
+def peel_snapshot_file(path: str, semantics_name: str) -> PeelingResult:
+    """Worker entry point: mmap-load a snapshot and peel it."""
+    snapshot = CsrSnapshot.load(path, mmap_mode="r")
+    return peel_csr(snapshot, semantics_name)
+
+
+def parallel_shard_results(
+    graphs,
+    semantics_name: str,
+    max_workers: Optional[int] = None,
+) -> List[PeelingResult]:
+    """Peel every shard graph in parallel worker processes.
+
+    Each graph is frozen and written to a temporary ``.npz``; the worker
+    pool maps the files read-only and peels them concurrently.  Falls
+    back to in-process peeling for a single shard (spawning a pool for
+    one graph costs more than it saves).
+    """
+    snapshots = [freeze_graph(graph) for graph in graphs]
+    if len(snapshots) <= 1:
+        return [peel_csr(snapshot, semantics_name) for snapshot in snapshots]
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+        paths = []
+        for index, snapshot in enumerate(snapshots):
+            path = os.path.join(tmp, f"shard{index}.npz")
+            snapshot.save(path)
+            paths.append(path)
+        workers = max_workers or min(len(paths), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(peel_snapshot_file, paths, [semantics_name] * len(paths)))

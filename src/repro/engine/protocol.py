@@ -1,0 +1,106 @@
+"""The ``DetectionEngine`` protocol: the surface consumers program against.
+
+Historically every consumer of the framework — the streaming replay
+driver, the Grab pipeline, the experiment harness — imported the concrete
+:class:`~repro.core.spade.Spade` class.  This module extracts the surface
+those consumers actually use into a :class:`typing.Protocol`, so that the
+single-engine :class:`~repro.core.spade.Spade` and the hash-partitioned
+:class:`~repro.engine.sharded.ShardedSpade` are interchangeable behind one
+type:
+
+* **load** — :meth:`DetectionEngine.load_graph` /
+  :meth:`DetectionEngine.load_edges`;
+* **detect** — :meth:`DetectionEngine.detect` (plus the richer
+  :meth:`DetectionEngine.result` export);
+* **insert** — :meth:`DetectionEngine.insert_edge`;
+* **insert_batch** — :meth:`DetectionEngine.insert_batch_edges`;
+* **delete** — :meth:`DetectionEngine.delete_edges`;
+* **flush** — :meth:`DetectionEngine.flush_pending` /
+  :meth:`DetectionEngine.pending_edges`;
+* **enumerate** — :meth:`DetectionEngine.enumerate_frauds`.
+
+The protocol is ``runtime_checkable`` so tests can assert that both
+implementations structurally satisfy it; consumers should accept
+``DetectionEngine`` in type hints and construct engines through
+:func:`repro.engine.create_engine` rather than naming a concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Iterable,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.core.batch import BatchInput
+from repro.core.enumeration import CommunityInstance
+from repro.core.reorder import ReorderStats
+from repro.core.state import Community
+from repro.graph.graph import Vertex
+from repro.peeling.result import PeelingResult
+from repro.peeling.semantics import PeelingSemantics
+
+__all__ = ["DetectionEngine"]
+
+
+@runtime_checkable
+class DetectionEngine(Protocol):
+    """Everything a consumer may ask of a fraud-detection engine.
+
+    Implementations: :class:`~repro.core.spade.Spade` (single engine, the
+    paper's Listing 1/2 API) and
+    :class:`~repro.engine.sharded.ShardedSpade` (hash-partitioned shards
+    behind a coordinator).
+    """
+
+    #: Cost accounting of the most recent maintenance pass.
+    last_stats: ReorderStats
+
+    # --- configuration ------------------------------------------------ #
+    @property
+    def semantics(self) -> PeelingSemantics: ...
+    @property
+    def backend(self) -> str: ...
+
+    # --- load --------------------------------------------------------- #
+    def load_graph(self, graph) -> PeelingResult: ...
+    def load_edges(
+        self,
+        edges: Iterable[tuple],
+        vertex_priors: Optional[Mapping[Vertex, float]] = None,
+    ) -> PeelingResult: ...
+
+    # --- detect ------------------------------------------------------- #
+    @property
+    def graph(self): ...
+    def detect(self) -> Community: ...
+    def result(self) -> PeelingResult: ...
+    def enumerate_frauds(
+        self,
+        max_instances: int = 10,
+        min_density: float = 0.0,
+        min_size: int = 2,
+    ) -> Sequence[CommunityInstance]: ...
+
+    # --- updates ------------------------------------------------------ #
+    def insert_edge(
+        self,
+        src: Vertex,
+        dst: Vertex,
+        weight: float = 1.0,
+        timestamp: Optional[float] = None,
+        src_prior: Optional[float] = None,
+        dst_prior: Optional[float] = None,
+    ) -> Community: ...
+    def insert_batch_edges(self, batch: BatchInput) -> Community: ...
+    def delete_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> Community: ...
+
+    # --- flush -------------------------------------------------------- #
+    def flush_pending(self) -> Community: ...
+    def pending_edges(self) -> int: ...
+    def is_benign(self, src: Vertex, dst: Vertex, weight: float = 1.0) -> bool: ...

@@ -1,0 +1,84 @@
+"""Hash partitioning of interned vertex ids across shard engines.
+
+The :class:`~repro.graph.interning.VertexInterner` (PR 1) gives every
+vertex a dense ``int32`` id in first-seen order; the router maps those ids
+onto ``num_shards`` buckets with a deterministic multiplicative hash.  The
+partition therefore depends only on the order in which vertices enter the
+stream — never on Python's per-process string hashing — so a sharded run
+is reproducible across processes and machines (which the differential
+suite and the CI smoke job rely on).
+
+Routing rules
+-------------
+* a vertex lives on ``shard_of_id(id)`` (its *home shard*);
+* an edge ``(src, dst)`` is owned by the home shard of ``src``;
+* an edge whose endpoints live on different shards is *cross-shard*: the
+  coordinator parks it in a queue and applies it to the owning shard in a
+  periodic batch pass, creating a replica of the foreign endpoint there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Vertex
+from repro.graph.interning import VertexInterner
+
+__all__ = ["ShardRouter"]
+
+#: Knuth's multiplicative constant — decorrelates the shard index from the
+#: low bits of the dense id, so vertex cohorts that arrive together (e.g.
+#: a fraud burst's members, interned consecutively) still spread out.
+_MIX = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+class ShardRouter:
+    """Deterministic ``dense id -> shard`` partition map.
+
+    The router borrows (not owns) the global interner — the coordinator's
+    mirror graph interns every label exactly once, in stream order, and
+    the router derives the shard from the resulting id.
+    """
+
+    __slots__ = ("_interner", "num_shards")
+
+    def __init__(self, interner: VertexInterner, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._interner = interner
+        self.num_shards = num_shards
+
+    # ------------------------------------------------------------------ #
+    # Partitioning
+    # ------------------------------------------------------------------ #
+    def shard_of_id(self, vid: int) -> int:
+        """Return the home shard of the vertex with dense id ``vid``."""
+        return ((vid * _MIX) & _MASK) % self.num_shards
+
+    def shard_of(self, label: Vertex) -> int:
+        """Return the home shard of ``label`` (must already be interned)."""
+        return self.shard_of_id(self._interner.id_of(label))
+
+    def route_edge(self, src: Vertex, dst: Vertex) -> Tuple[int, bool]:
+        """Return ``(owning_shard, is_cross_shard)`` for edge ``(src, dst)``.
+
+        The owning shard is always the home shard of ``src``, so every
+        update to the same directed edge — inserts accumulating weight,
+        later deletes — lands on the same engine in stream order.
+        """
+        home = self.shard_of(src)
+        return home, self.shard_of(dst) != home
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def partition_counts(self) -> List[int]:
+        """Return how many interned vertices each shard currently homes."""
+        counts = [0] * self.num_shards
+        for vid in range(len(self._interner)):
+            counts[self.shard_of_id(vid)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardRouter(num_shards={self.num_shards}, |V|={len(self._interner)})"

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from typing import FrozenSet, List, Optional
 
-from repro.core.spade import Spade
+from repro.engine import DetectionEngine, create_engine
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.semantics import PeelingSemantics
 from repro.peeling.static import peel
@@ -89,6 +89,13 @@ class RealTimeSpadeDetector:
     ``backend`` selects the graph backend of the underlying engine
     (``"dict"`` / ``"array"``; ``None`` = process default) — the adopted
     initial graph is converted if it uses a different backend.
+    ``shards`` > 1 scales detection across that many hash-partitioned
+    shard engines behind a coordinator
+    (:class:`repro.engine.sharded.ShardedSpade`); the per-transaction
+    community is then the shard-local real-time view, reconciled with the
+    exact merged detection every ``merge_every`` transactions — a fraud
+    ring whose members hash onto different shards only surfaces in the
+    merged pass.
     """
 
     def __init__(
@@ -97,26 +104,42 @@ class RealTimeSpadeDetector:
         initial_graph: DynamicGraph,
         edge_grouping: bool = False,
         backend: Optional[str] = None,
+        shards: int = 1,
+        merge_every: int = 200,
     ) -> None:
-        self._spade = Spade(semantics, edge_grouping=edge_grouping, backend=backend)
+        self._spade = create_engine(
+            semantics, shards=shards, edge_grouping=edge_grouping, backend=backend
+        )
         self._spade.load_graph(initial_graph)
         self._grouping = edge_grouping
+        self._shards = shards
+        self._merge_every = merge_every if shards > 1 else 0
         self._community: FrozenSet[Vertex] = self._spade.detect().vertices
         self.compute_seconds = 0.0
         self.updates = 0
+        #: Number of exact merged detections performed (sharded engines).
+        self.merged_detections = 0
 
     @property
     def name(self) -> str:
-        """Detector name for reports (``IncDW`` or ``IncDWG`` with grouping)."""
-        return f"Inc{self._spade.semantics.name}" + ("G" if self._grouping else "")
+        """Detector name for reports (``IncDW``, ``IncDWG`` with grouping, ``IncDW-4s`` sharded)."""
+        name = f"Inc{self._spade.semantics.name}" + ("G" if self._grouping else "")
+        if self._shards > 1:
+            name += f"-{self._shards}s"
+        return name
 
     @property
-    def spade(self) -> Spade:
-        """The underlying Spade engine (for inspection)."""
+    def spade(self) -> DetectionEngine:
+        """The underlying detection engine (for inspection)."""
         return self._spade
 
     def observe(self, record: TransactionRecord) -> FrozenSet[Vertex]:
-        """Insert one transaction and return the refreshed community."""
+        """Insert one transaction and return the refreshed community.
+
+        For sharded engines the fast per-update view is shard-local;
+        every ``merge_every`` updates the exact merged detection (a
+        coordinator pass) replaces it so cross-shard rings surface.
+        """
         began = time.perf_counter()
         community = self._spade.insert_edge(
             record.customer,
@@ -124,8 +147,11 @@ class RealTimeSpadeDetector:
             record.amount,
             timestamp=record.timestamp,
         )
-        self.compute_seconds += time.perf_counter() - began
         self.updates += 1
+        if self._merge_every and self.updates % self._merge_every == 0:
+            community = self._spade.detect()
+            self.merged_detections += 1
+        self.compute_seconds += time.perf_counter() - began
         self._community = community.vertices
         return self._community
 

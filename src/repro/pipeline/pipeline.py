@@ -73,13 +73,19 @@ class FraudDetectionPipeline:
         static_period: float = 60.0,
         edge_grouping: bool = False,
         auto_ban: bool = True,
+        backend: Optional[str] = None,
+        shards: int = 1,
     ) -> None:
         if detector not in ("spade", "periodic"):
             raise ValueError(f"unknown detector {detector!r}; expected 'spade' or 'periodic'")
+        if shards > 1 and detector != "spade":
+            raise ValueError("sharded detection requires the 'spade' detector")
         self._semantics = semantics or dw_semantics()
         self._detector_kind = detector
         self._static_period = static_period
         self._edge_grouping = edge_grouping
+        self._backend = backend
+        self._shards = shards
         self._builder = GraphBuilder(self._semantics)
         self.moderator = Moderator(auto_ban=auto_ban)
         self._detector = None
@@ -96,7 +102,11 @@ class FraudDetectionPipeline:
             )
         else:
             self._detector = RealTimeSpadeDetector(
-                self._semantics, graph, edge_grouping=self._edge_grouping
+                self._semantics,
+                graph,
+                edge_grouping=self._edge_grouping,
+                backend=self._backend,
+                shards=self._shards,
             )
         return graph
 

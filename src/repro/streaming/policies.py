@@ -23,7 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
-from repro.core.spade import Spade
+from repro.engine.protocol import DetectionEngine
 from repro.streaming.stream import TimestampedEdge
 
 __all__ = [
@@ -42,14 +42,14 @@ class ProcessingPolicy(ABC):
     name: str = "policy"
 
     @abstractmethod
-    def offer(self, spade: Spade, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         """Feed one edge; return a batch if it should be processed now."""
 
     def drain(self) -> Optional[List[TimestampedEdge]]:
         """Return whatever is still buffered at end of stream (may be None)."""
         return None
 
-    def process(self, spade: Spade, batch: Sequence[TimestampedEdge]) -> None:
+    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
         """Apply a flushed batch (default: incremental batch insertion)."""
         spade.insert_batch_edges([e.as_update() for e in batch])
 
@@ -64,10 +64,10 @@ class PerEdgePolicy(ProcessingPolicy):
     def __init__(self, label: Optional[str] = None) -> None:
         self.name = label or "inc-per-edge"
 
-    def offer(self, spade: Spade, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         return [edge]
 
-    def process(self, spade: Spade, batch: Sequence[TimestampedEdge]) -> None:
+    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
         for edge in batch:
             spade.insert_edge(edge.src, edge.dst, edge.weight, timestamp=edge.timestamp)
 
@@ -82,7 +82,7 @@ class BatchPolicy(ProcessingPolicy):
         self.name = label or f"inc-batch-{batch_size}"
         self._buffer: List[TimestampedEdge] = []
 
-    def offer(self, spade: Spade, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         self._buffer.append(edge)
         if len(self._buffer) >= self.batch_size:
             batch, self._buffer = self._buffer, []
@@ -110,7 +110,7 @@ class EdgeGroupingPolicy(ProcessingPolicy):
         self.urgent_flushes = 0
         self.forced_flushes = 0
 
-    def offer(self, spade: Spade, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         self._buffer.append(edge)
         urgent = not spade.is_benign(edge.src, edge.dst, edge.weight)
         full = self.max_buffer is not None and len(self._buffer) >= self.max_buffer
@@ -146,7 +146,7 @@ class PeriodicStaticPolicy(ProcessingPolicy):
         self._buffer: List[TimestampedEdge] = []
         self._next_deadline: Optional[float] = None
 
-    def offer(self, spade: Spade, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         if self._next_deadline is None:
             self._next_deadline = edge.timestamp + self.period
         self._buffer.append(edge)
@@ -162,7 +162,7 @@ class PeriodicStaticPolicy(ProcessingPolicy):
         batch, self._buffer = self._buffer, []
         return batch
 
-    def process(self, spade: Spade, batch: Sequence[TimestampedEdge]) -> None:
+    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
         """Apply the batch structurally, then recompute the peel from scratch."""
         graph = spade.graph
         semantics = spade.semantics

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, Mapping, Optional, Sequence
 
-from repro.core.spade import Spade
+from repro.engine.protocol import DetectionEngine
 from repro.graph.graph import Vertex
 from repro.streaming.clock import SimulatedClock
 from repro.streaming.metrics import LatencyTracker, PreventionTracker, StreamMetrics
@@ -75,7 +75,7 @@ def _check_detections(
 
 
 def replay_stream(
-    spade: Spade,
+    spade: DetectionEngine,
     stream: UpdateStream,
     policy: ProcessingPolicy,
     fraud_communities: Optional[Mapping[str, AbstractSet[Vertex]]] = None,
@@ -89,7 +89,8 @@ def replay_stream(
     Parameters
     ----------
     spade:
-        A Spade engine with the initial graph already loaded.
+        A detection engine (single ``Spade`` or ``ShardedSpade``) with the
+        initial graph already loaded.
     stream:
         The timestamped increments, replayed in order.
     policy:

@@ -217,7 +217,14 @@ def dataset_names(include_small: bool = True) -> List[str]:
 
 
 def generate_dataset(name: str, seed: int = 0) -> Dataset:
-    """Generate the named dataset (raises for unknown names)."""
+    """Generate the named dataset (raises for unknown names).
+
+    Generation is a pure function of ``(name, seed)``: the seed is folded
+    into the spec's default and handed to a fresh numpy generator inside
+    the builder, so repeated calls — including the single-engine and the
+    sharded leg of a differential run — replay bit-identical initial
+    edges, increments and injected fraud bursts.
+    """
     try:
         spec = DATASET_REGISTRY[name]
     except KeyError:

@@ -21,7 +21,7 @@ can be computed exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from repro.graph.graph import Vertex
 from repro.streaming.stream import TimestampedEdge
 
 __all__ = [
+    "RngLike",
+    "as_generator",
     "FraudCommunity",
     "FraudScenario",
     "inject_collusion",
@@ -37,6 +39,26 @@ __all__ = [
     "inject_click_farming",
     "inject_standard_patterns",
 ]
+
+#: Anything the generators accept as a randomness source: a ready-made
+#: ``numpy`` generator or a plain integer seed.
+RngLike = Union[np.random.Generator, int]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Normalise an explicit seed or generator into a ``Generator``.
+
+    Every workload generator routes its randomness through this helper so
+    that replays are reproducible by construction: the caller always
+    supplies either a seeded generator or the integer seed itself —
+    differential runs (e.g. sharded vs single-engine) that pass the same
+    seed replay bit-identical streams.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise WorkloadError(f"expected a numpy Generator or an int seed, got {rng!r}")
 
 #: Canonical pattern names used by labels, case studies and reports.
 PATTERN_COLLUSION = "customer-merchant-collusion"
@@ -119,7 +141,7 @@ def _emit(
 
 
 def inject_collusion(
-    rng: np.random.Generator,
+    rng: RngLike,
     label: str,
     start: float,
     duration: float = 60.0,
@@ -132,8 +154,10 @@ def inject_collusion(
 
     A small set of fake customers and colluding merchants performs
     fictitious transactions among *all* customer/merchant pairs, producing
-    a dense bipartite block.
+    a dense bipartite block.  ``rng`` may be a seeded generator or an
+    integer seed (see :func:`as_generator`).
     """
+    rng = as_generator(rng)
     customers = [f"{vertex_prefix}:{label}:c{i}" for i in range(num_customers)]
     merchants = [f"{vertex_prefix}:{label}:m{j}" for j in range(num_merchants)]
     pairs = [(c, m) for c in customers for m in merchants]
@@ -150,7 +174,7 @@ def inject_collusion(
 
 
 def inject_deal_hunter(
-    rng: np.random.Generator,
+    rng: RngLike,
     label: str,
     start: float,
     duration: float = 90.0,
@@ -160,6 +184,7 @@ def inject_deal_hunter(
     vertex_prefix: str = "fraud",
 ) -> FraudScenario:
     """Inject a deal-hunter group (Figure 12b): many users, few merchants."""
+    rng = as_generator(rng)
     hunters = [f"{vertex_prefix}:{label}:h{i}" for i in range(num_hunters)]
     merchants = [f"{vertex_prefix}:{label}:m{j}" for j in range(num_merchants)]
     pairs = [(h, m) for h in hunters for m in merchants]
@@ -176,7 +201,7 @@ def inject_deal_hunter(
 
 
 def inject_click_farming(
-    rng: np.random.Generator,
+    rng: RngLike,
     label: str,
     start: float,
     duration: float = 120.0,
@@ -191,6 +216,7 @@ def inject_click_farming(
     orders; the resulting block is wide (many fakes) and shallow (few
     merchants), with a high transaction volume per pair.
     """
+    rng = as_generator(rng)
     merchants = [f"{vertex_prefix}:{label}:shop{j}" for j in range(num_merchants)]
     fakes = [f"{vertex_prefix}:{label}:u{i}" for i in range(num_fake_users)]
     pairs = [(u, m) for u in fakes for m in merchants]
@@ -207,7 +233,7 @@ def inject_click_farming(
 
 
 def inject_standard_patterns(
-    rng: np.random.Generator,
+    rng: RngLike,
     stream_start: float,
     stream_end: float,
     instances_per_pattern: int = 1,
@@ -219,8 +245,9 @@ def inject_standard_patterns(
     Bursts are spread uniformly over the stream span so that the prevention
     ratio is meaningful (detection has room to happen before the burst
     ends).  ``scale`` multiplies the per-burst transaction counts for larger
-    workloads.
+    workloads.  ``rng`` may be a seeded generator or an integer seed.
     """
+    rng = as_generator(rng)
     if stream_end <= stream_start:
         raise WorkloadError("stream span must be non-empty for fraud injection")
     scenario = FraudScenario()

@@ -26,7 +26,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.streaming.stream import TimestampedEdge, UpdateStream
 from repro.workloads.datasets import Dataset
-from repro.workloads.fraud import FraudScenario, inject_standard_patterns
+from repro.workloads.fraud import FraudScenario, RngLike, as_generator, inject_standard_patterns
 
 __all__ = ["GrabConfig", "generate_grab_dataset"]
 
@@ -91,15 +91,21 @@ def _heavy_tail_probabilities(count: int, sigma: float, rng: np.random.Generator
     return weights / weights.sum()
 
 
-def generate_grab_dataset(config: GrabConfig) -> Dataset:
+def generate_grab_dataset(config: GrabConfig, rng: Optional[RngLike] = None) -> Dataset:
     """Generate a Grab-like dataset according to ``config``.
 
     The returned :class:`~repro.workloads.datasets.Dataset` contains the
     full vertex population (the paper initialises the graph with all of
     ``V``), the initial 90 % of edges, the timestamped increment stream and
     any injected fraud communities.
+
+    ``rng`` optionally overrides the randomness source (a seeded numpy
+    generator or an integer seed); by default the generator is seeded
+    from ``config.seed``, so two calls with equal configs — e.g. the
+    single-engine and the sharded leg of a differential run — replay
+    bit-identical streams.
     """
-    rng = np.random.default_rng(config.seed)
+    rng = as_generator(config.seed if rng is None else rng)
     customers = [f"c{i}" for i in range(config.num_customers)]
     merchants = [f"m{j}" for j in range(config.num_merchants)]
 

@@ -10,13 +10,14 @@ exactly the same random 10 % increment split.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
 from repro.streaming.stream import TimestampedEdge, UpdateStream
 from repro.workloads.datasets import Dataset
+from repro.workloads.fraud import RngLike, as_generator
 
 __all__ = ["PublicConfig", "generate_public_dataset"]
 
@@ -45,9 +46,14 @@ class PublicConfig:
             raise WorkloadError("increment_fraction must be in (0, 1)")
 
 
-def generate_public_dataset(config: PublicConfig) -> Dataset:
-    """Generate a public-style dataset according to ``config``."""
-    rng = np.random.default_rng(config.seed)
+def generate_public_dataset(config: PublicConfig, rng: Optional[RngLike] = None) -> Dataset:
+    """Generate a public-style dataset according to ``config``.
+
+    ``rng`` optionally overrides the randomness source (a seeded numpy
+    generator or an integer seed); by default it is seeded from
+    ``config.seed`` so equal configs replay bit-identical streams.
+    """
+    rng = as_generator(config.seed if rng is None else rng)
     ranks = np.arange(1, config.num_vertices + 1, dtype=np.float64)
     weights = ranks ** (-config.skew)
     out_p = weights / weights.sum()
