@@ -10,14 +10,16 @@ the resulting peeling algorithm into an incremental one automatically.  This
 example implements a "promo-abuse" semantics: transactions paid with a
 promotion code are more suspicious, and accounts created recently carry a
 prior.  It then compares what the built-in DG / DW / FD semantics and the
-custom one detect on the same data.
+custom one detect on the same data — all through the v1
+:class:`repro.api.SpadeClient` façade, where a custom semantics instance
+simply overrides the config's named built-in.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro import Spade, dg_semantics, dw_semantics, fraudar_semantics
+from repro.api import EngineConfig, Insert, SpadeClient
 from repro.peeling.semantics import custom_semantics
 
 # Accounts created in the last few days (side information a real system
@@ -65,26 +67,29 @@ def promo_abuse_semantics():
     return custom_semantics("PromoAbuse", vertex_susp=vsusp, edge_susp=esusp, recompute_on_insert=True)
 
 
-def detect_with(semantics):
-    spade = Spade(semantics)
-    spade.load_edges(TRANSACTIONS)
-    community = spade.detect()
-    return spade, sorted(community.vertices), community.density
+def detect_with(name=None, semantics=None):
+    """Detect on the shared transactions under a built-in or custom semantics."""
+    config = EngineConfig(semantics=name) if name else EngineConfig()
+    client = SpadeClient(config, semantics=semantics)
+    report = client.load(TRANSACTIONS)
+    return client, sorted(report.vertices), report.density
 
 
 def main() -> None:
     print(f"{'semantics':<12} {'density':>8}  community")
     print("-" * 70)
-    for semantics in (dg_semantics(), dw_semantics(), fraudar_semantics(), promo_abuse_semantics()):
-        _spade, community, density = detect_with(semantics)
-        print(f"{semantics.name:<12} {density:8.3f}  {community}")
+    for name in ("DG", "DW", "FD"):
+        _client, community, density = detect_with(name=name)
+        print(f"{name:<12} {density:8.3f}  {community}")
+    _client, community, density = detect_with(semantics=promo_abuse_semantics())
+    print(f"{'PromoAbuse':<12} {density:8.3f}  {community}")
 
     # The custom semantics keeps working incrementally, like any built-in:
-    spade, _, _ = detect_with(promo_abuse_semantics())
-    community = spade.insert_edge("mule-5", "kickback-shop", 5.0)
+    client, _, _ = detect_with(semantics=promo_abuse_semantics())
+    report = client.apply([Insert("mule-5", "kickback-shop", 5.0)])
     print("\nafter one more promo-funded order from a brand-new account:")
-    print("  community:", sorted(community.vertices))
-    assert "mule-5" in community.vertices or "kickback-shop" in community.vertices
+    print("  community:", sorted(report.vertices))
+    assert "mule-5" in report.vertices or "kickback-shop" in report.vertices
 
 
 if __name__ == "__main__":

@@ -10,10 +10,16 @@ graph every period) and the *real-time Spade* detector (incremental
 maintenance per transaction).  Both feed the same moderator, which bans the
 members of detected communities and blocks their subsequent transactions;
 the report shows how much more fraud the real-time detector prevents.
+
+The real-time detectors are described by :class:`repro.api.EngineConfig`
+objects — the same validated config that drives :class:`repro.api.SpadeClient`
+everywhere else — so switching backend, sharding or edge grouping is a
+one-knob change.
 """
 
 from __future__ import annotations
 
+from repro.api import EngineConfig
 from repro.bench.tables import render_table
 from repro.peeling.semantics import dw_semantics
 from repro.pipeline import FraudDetectionPipeline, TransactionLog
@@ -31,13 +37,6 @@ def build_logs():
         seed=11,
     )
     dataset = generate_grab_dataset(config)
-    historical = TransactionLog.from_stream(
-        # Historical transactions get synthetic timestamps before the stream.
-        type(dataset.increments)(
-            [e.shifted(0.0) for e in dataset.increments[:0]]
-        ),
-    )
-    # Build the historical log directly from the initial edges.
     from repro.pipeline.transaction_log import TransactionRecord
 
     records = [
@@ -60,8 +59,8 @@ def main() -> None:
     rows = []
     for detector, kwargs in (
         ("periodic", {"static_period": 30.0}),
-        ("spade", {}),
-        ("spade", {"edge_grouping": True}),
+        ("spade", {"config": EngineConfig(semantics="DW")}),
+        ("spade", {"config": EngineConfig(semantics="DW", edge_grouping=True)}),
     ):
         pipeline = FraudDetectionPipeline(dw_semantics(), detector=detector, **kwargs)
         pipeline.initialise(historical)

@@ -4,60 +4,66 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds a small transaction graph, runs the initial (static)
-detection, then streams a burst of suspicious transactions through Spade's
-incremental ``insert_edge`` API and shows how the detected community and its
-density evolve — without ever re-running the static algorithm.
+The example builds a small transaction graph through the v1 public API
+(:class:`repro.api.SpadeClient`), runs the initial (static) detection, then
+streams a burst of suspicious transactions through the single ``apply``
+ingestion method and shows how the detected community and its density
+evolve — without ever re-running the static algorithm.
 """
 
 from __future__ import annotations
 
-from repro import Spade, dw_semantics
+from repro.api import EngineConfig, Insert, SpadeClient
 
 
 def main() -> None:
-    # 1. Pick a fraud semantics.  DW scores every transaction by its amount;
-    #    see custom_semantics.py for plugging in your own vsusp/esusp.
-    spade = Spade(dw_semantics())
+    # 1. Describe the engine in one validated config.  DW scores every
+    #    transaction by its amount; the config round-trips through JSON
+    #    (EngineConfig.from_dict / to_dict), so the same knobs can come
+    #    from a file or CLI flags.
+    config = EngineConfig(semantics="DW")
 
-    # 2. Load the historical transactions (customer, merchant, amount).
-    history = [
-        ("alice", "book-shop", 12.0),
-        ("bob", "book-shop", 8.0),
-        ("alice", "cafe", 4.0),
-        ("carol", "cafe", 5.0),
-        ("dave", "electronics", 30.0),
-        ("erin", "electronics", 25.0),
-        ("dave", "cafe", 3.0),
-    ]
-    initial = spade.load_edges(history)
-    print("initial detection:", sorted(initial.community), f"density={initial.best_density:.2f}")
+    with SpadeClient(config) as client:
+        # 2. Load the historical transactions (customer, merchant, amount).
+        history = [
+            ("alice", "book-shop", 12.0),
+            ("bob", "book-shop", 8.0),
+            ("alice", "cafe", 4.0),
+            ("carol", "cafe", 5.0),
+            ("dave", "electronics", 30.0),
+            ("erin", "electronics", 25.0),
+            ("dave", "cafe", 3.0),
+        ]
+        initial = client.load(history)
+        print("initial detection:", sorted(initial.vertices), f"density={initial.density:.2f}")
 
-    # 3. A ring of colluding accounts starts trading with each other.
-    burst = [
-        ("mule-1", "shady-shop", 40.0),
-        ("mule-2", "shady-shop", 45.0),
-        ("mule-3", "shady-shop", 42.0),
-        ("mule-1", "shady-shop", 38.0),
-        ("mule-2", "shady-shop", 50.0),
-        ("mule-3", "shady-shop", 47.0),
-    ]
+        # 3. A ring of colluding accounts starts trading with each other.
+        burst = [
+            ("mule-1", "shady-shop", 40.0),
+            ("mule-2", "shady-shop", 45.0),
+            ("mule-3", "shady-shop", 42.0),
+            ("mule-1", "shady-shop", 38.0),
+            ("mule-2", "shady-shop", 50.0),
+            ("mule-3", "shady-shop", 47.0),
+        ]
 
-    # 4. Every insertion incrementally repairs the peeling sequence and
-    #    returns the up-to-date community — this is the real-time loop.
-    for src, dst, amount in burst:
-        community = spade.insert_edge(src, dst, amount)
-        print(
-            f"after {src} -> {dst} ({amount:5.1f}): "
-            f"community={sorted(community.vertices)} density={community.density:.2f} "
-            f"(affected area: {spade.last_stats.affected_area} steps)"
-        )
+        # 4. Every applied event incrementally repairs the peeling sequence;
+        #    the structured report carries the up-to-date community plus the
+        #    cost accounting — this is the real-time loop.
+        for src, dst, amount in burst:
+            report = client.apply([Insert(src, dst, amount)])
+            print(
+                f"after {src} -> {dst} ({amount:5.1f}): "
+                f"community={sorted(report.vertices)} density={report.density:.2f} "
+                f"(affected area: {report.affected_area} steps)"
+            )
 
-    # 5. The colluding ring is now the densest community; a moderator would
-    #    ban these accounts (see grab_pipeline.py for the full pipeline).
-    final = spade.detect()
-    assert "shady-shop" in final.vertices
-    print("\nfinal fraudsters:", sorted(final.vertices))
+        # 5. The colluding ring is now the densest community; a moderator
+        #    would ban these accounts (see grab_pipeline.py for the full
+        #    pipeline).
+        final = client.detect()
+        assert "shady-shop" in final.vertices
+        print("\nfinal fraudsters:", sorted(final.vertices))
 
 
 if __name__ == "__main__":

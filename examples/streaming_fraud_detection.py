@@ -11,11 +11,16 @@ edge grouping — and reports, for each policy, the per-edge compute cost, the
 response latency of fraudulent activity and the prevention ratio (which
 fraction of each fraud ring's transactions arrived after the ring was
 detected and could therefore be blocked).
+
+Engines are constructed and loaded through the v1 public API
+(:class:`repro.api.EngineConfig` / :class:`repro.api.SpadeClient`); the
+replay driver measures exactly what the façade's ``apply`` / ``detect``
+deliver.
 """
 
 from __future__ import annotations
 
-from repro import Spade, fraudar_semantics
+from repro.api import EngineConfig, SpadeClient
 from repro.streaming import BatchPolicy, EdgeGroupingPolicy, PerEdgePolicy, replay_stream
 from repro.workloads.grab import GrabConfig, generate_grab_dataset
 
@@ -44,15 +49,15 @@ def main() -> None:
         BatchPolicy(500, label="IncFD-500 (batches)"),
         EdgeGroupingPolicy(label="IncFDG (edge grouping)"),
     ]
+    engine_config = EngineConfig(semantics="FD")
 
     print(f"{'policy':<24} {'E (us/edge)':>12} {'mean latency':>13} {'prevention':>11} {'flushes':>8}")
     print("-" * 75)
     for policy in policies:
-        semantics = fraudar_semantics()
-        spade = Spade(semantics)
-        spade.load_graph(dataset.initial_graph(semantics))
+        client = SpadeClient(engine_config)
+        client.load(dataset.initial_graph(client.semantics))
         report = replay_stream(
-            spade,
+            client,
             dataset.increments,
             policy,
             fraud_communities=truth,

@@ -8,6 +8,12 @@ algorithm from scratch.
 
 The package is organised as follows:
 
+``repro.api``
+    The stable v1 public surface: :class:`~repro.api.EngineConfig` (one
+    validated config object), :class:`~repro.api.SpadeClient` (the
+    context-manager façade with the single ``apply`` ingestion method),
+    the typed update events and the :class:`~repro.api.DetectionReport`
+    structured result.  New consumers should program against this.
 ``repro.graph``
     Dynamic weighted directed graph and graph-update (delta) types.
 ``repro.peeling``
@@ -53,6 +59,17 @@ Quickstart::
 from repro._version import __version__
 from repro.core.spade import Spade
 from repro.engine import DetectionEngine, ShardedSpade, create_engine
+from repro.api import (
+    Delete,
+    DetectionReport,
+    EngineConfig,
+    Flush,
+    Insert,
+    InsertBatch,
+    SpadeClient,
+    validate_config,
+)
+from repro.errors import ConfigError
 from repro.graph.array_graph import ArrayGraph
 from repro.graph.backend import create_graph, get_default_backend, set_default_backend
 from repro.graph.graph import DynamicGraph
@@ -73,6 +90,15 @@ __all__ = [
     "DetectionEngine",
     "ShardedSpade",
     "create_engine",
+    "EngineConfig",
+    "SpadeClient",
+    "DetectionReport",
+    "Insert",
+    "InsertBatch",
+    "Delete",
+    "Flush",
+    "ConfigError",
+    "validate_config",
     "ArrayGraph",
     "DynamicGraph",
     "VertexInterner",

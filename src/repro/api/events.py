@@ -1,0 +1,175 @@
+"""The typed update stream consumed by :meth:`repro.api.SpadeClient.apply`.
+
+Historically ingestion was four differently-shaped mutators
+(``insert_edge`` / ``insert_batch_edges`` / ``delete_edges`` /
+``flush_pending``), each with its own argument convention.  The façade
+replaces them with **one** method taking a stream of tagged-union events:
+
+* :class:`Insert` — one transaction (``InsertEdge`` of Listing 1);
+* :class:`InsertBatch` — a batch applied through Algorithm 2;
+* :class:`Delete` — outdated transactions removed (Appendix C.1);
+* :class:`Flush` — force-flush deferred benign edges / the cross-shard
+  queue.
+
+Events interoperate with the structural layer: :func:`as_events` also
+accepts plain :class:`~repro.graph.delta.EdgeUpdate` objects (``delete``
+flag honoured), ``(src, dst[, weight])`` sequences and whole
+:class:`~repro.graph.delta.GraphDelta` batches, so existing producers —
+JSONL replay, the stream layer's ``as_update()`` — feed the new API
+without conversion shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.core.batch import BatchInput, normalize_updates
+from repro.graph.delta import EdgeUpdate, GraphDelta
+from repro.graph.graph import Vertex
+
+__all__ = [
+    "Insert",
+    "InsertBatch",
+    "Delete",
+    "Flush",
+    "Event",
+    "as_events",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert one transaction (single-edge incremental maintenance).
+
+    ``src_prior`` / ``dst_prior`` are optional vertex suspiciousness
+    priors honoured only when the endpoint is new, exactly as in the
+    legacy ``insert_edge``.
+    """
+
+    src: Vertex
+    dst: Vertex
+    weight: float = 1.0
+    timestamp: Optional[float] = None
+    src_prior: Optional[float] = None
+    dst_prior: Optional[float] = None
+
+    def as_update(self) -> EdgeUpdate:
+        """Convert to the structural :class:`EdgeUpdate`."""
+        return EdgeUpdate(
+            self.src,
+            self.dst,
+            self.weight,
+            src_weight=self.src_prior,
+            dst_weight=self.dst_prior,
+        )
+
+    @classmethod
+    def from_update(cls, update: EdgeUpdate, timestamp: Optional[float] = None) -> "Insert":
+        """Build an insert event from an :class:`EdgeUpdate` insertion."""
+        if update.delete:
+            raise ValueError("cannot build an Insert event from a deletion update")
+        return cls(
+            update.src,
+            update.dst,
+            update.weight,
+            timestamp=timestamp,
+            src_prior=update.src_weight,
+            dst_prior=update.dst_weight,
+        )
+
+
+@dataclass(frozen=True)
+class InsertBatch:
+    """Insert a batch of transactions in one Algorithm-2 pass."""
+
+    updates: Tuple[EdgeUpdate, ...]
+
+    @classmethod
+    def of(cls, batch: BatchInput) -> "InsertBatch":
+        """Build a batch event from any legacy batch shape.
+
+        Accepts whatever ``insert_batch_edges`` accepted: a
+        :class:`GraphDelta`, an iterable of :class:`EdgeUpdate`, or an
+        iterable of ``(src, dst[, weight])`` sequences.
+        """
+        return cls(tuple(normalize_updates(batch)))
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete outdated transactions (suffix re-peel maintenance)."""
+
+    edges: Tuple[Tuple[Vertex, Vertex], ...]
+
+    @classmethod
+    def of(cls, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Delete":
+        """Build a delete event from ``(src, dst)`` pairs."""
+        return cls(tuple((src, dst) for src, dst in edges))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Force-flush deferred work (benign buffers, cross-shard queue)."""
+
+
+#: The tagged union of every event the client accepts.
+Event = Union[Insert, InsertBatch, Delete, Flush]
+
+_EVENT_TYPES = (Insert, InsertBatch, Delete, Flush)
+
+
+def _coerce(item: object) -> Event:
+    if isinstance(item, _EVENT_TYPES):
+        return item
+    if isinstance(item, EdgeUpdate):
+        if item.delete:
+            return Delete(((item.src, item.dst),))
+        return Insert.from_update(item)
+    if isinstance(item, (str, bytes)):
+        raise TypeError(f"unsupported update event {item!r}")
+    try:
+        length = len(item)  # type: ignore[arg-type]
+    except TypeError:
+        raise TypeError(f"unsupported update event {item!r}") from None
+    if length == 2:
+        return Insert(item[0], item[1])  # type: ignore[index]
+    if length == 3:
+        return Insert(item[0], item[1], float(item[2]))  # type: ignore[index]
+    raise TypeError(f"unsupported update event {item!r}")
+
+
+def as_events(updates: object) -> Iterator[Event]:
+    """Coerce any accepted update stream into an iterator of events.
+
+    Accepted shapes:
+
+    * a single event (or one :class:`EdgeUpdate` / ``(src, dst[, w])``
+      sequence);
+    * an iterable mixing events, :class:`EdgeUpdate` objects and
+      ``(src, dst[, w])`` sequences;
+    * a :class:`GraphDelta` (its updates are replayed in order).
+    """
+    if isinstance(updates, _EVENT_TYPES) or isinstance(updates, EdgeUpdate):
+        yield _coerce(updates)
+        return
+    if isinstance(updates, GraphDelta):
+        for update in updates.updates:
+            yield _coerce(update)
+        return
+    if isinstance(updates, (str, bytes)):
+        raise TypeError(f"unsupported update stream {updates!r}")
+    if isinstance(updates, tuple) and updates and not isinstance(
+        updates[0], _EVENT_TYPES + (EdgeUpdate, tuple, list)
+    ):
+        # A bare (src, dst[, weight]) tuple rather than a stream of them.
+        yield _coerce(updates)
+        return
+    for item in updates:  # type: ignore[union-attr]
+        yield _coerce(item)

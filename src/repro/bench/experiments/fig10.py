@@ -80,7 +80,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 lambda g=graph, s=semantics: static_peel(g, s.name)
             )
 
-            spade = build_engine(dataset, semantics, backend=config.backend, shards=config.shards)
+            spade = build_engine(dataset, semantics, config=config.engine_config(algo))
             stream = dataset.increments[: min(sample, len(dataset.increments))]
             report = replay_stream(spade, stream, PerEdgePolicy(label=f"Inc{algo}"))
             per_edge = report.metrics.mean_elapsed_per_edge

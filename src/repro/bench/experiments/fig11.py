@@ -58,7 +58,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         stream = dataset.increments[: min(limit, len(dataset.increments))]
         for algo, semantics in config.semantics_instances():
             for size in sweep:
-                spade = build_engine(dataset, semantics, backend=config.backend, shards=config.shards)
+                spade = build_engine(dataset, semantics, config=config.engine_config(algo))
                 policy = PerEdgePolicy() if size == 1 else BatchPolicy(size)
                 report = replay_stream(spade, stream, policy, fraud_communities=truth)
                 metrics = report.metrics

@@ -13,15 +13,17 @@ import argparse
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine import DetectionEngine, create_engine
-from repro.peeling.semantics import (
-    PeelingSemantics,
-    dg_semantics,
-    dw_semantics,
-    fraudar_semantics,
+from repro.api.config import EngineConfig
+from repro.config import (
+    SEMANTICS_FACTORIES,
+    VALID_BACKENDS,
+    VALID_STATIC,
+    validate_config,
 )
+from repro.engine import DetectionEngine
+from repro.peeling.semantics import PeelingSemantics
 from repro.workloads.datasets import Dataset, generate_dataset
 
 __all__ = [
@@ -35,13 +37,6 @@ __all__ = [
     "static_peel_fn",
     "config_from_args",
 ]
-
-#: The three peeling algorithms of the paper, by display name.
-SEMANTICS_FACTORIES: Dict[str, Callable[[], PeelingSemantics]] = {
-    "DG": dg_semantics,
-    "DW": dw_semantics,
-    "FD": fraudar_semantics,
-}
 
 #: Benchmark-scale and test-scale dataset groups.
 FULL_DATASETS = ["grab1", "grab2", "grab3", "grab4", "amazon", "wiki-vote", "epinion"]
@@ -98,6 +93,24 @@ class ExperimentConfig:
     def semantics_instances(self) -> List[Tuple[str, PeelingSemantics]]:
         """Instantiate the configured semantics."""
         return [(name, SEMANTICS_FACTORIES[name]()) for name in self.semantics]
+
+    def engine_config(
+        self, semantics: str = "DG", edge_grouping: bool = False
+    ) -> EngineConfig:
+        """Export this experiment's engine knobs as a public-API config.
+
+        The one bridge between the experiment harness and engine
+        construction: every experiment builds its engines through the
+        :class:`~repro.api.EngineConfig` this returns (validated once,
+        round-trippable through JSON next to the result tables).
+        """
+        return EngineConfig(
+            semantics=semantics,
+            backend=self.backend,
+            static=self.static,
+            shards=self.shards,
+            edge_grouping=edge_grouping,
+        )
 
 
 @dataclass
@@ -168,14 +181,19 @@ def build_engine(
     edge_grouping: bool = False,
     backend: Optional[str] = None,
     shards: int = 1,
+    config: Optional[EngineConfig] = None,
 ) -> DetectionEngine:
     """Build a detection engine loaded with the dataset's initial graph.
 
-    ``shards = 1`` (the default) builds the classic single-engine
-    ``Spade``; larger values build a ``ShardedSpade`` hash-partitioned
-    over that many shard engines.
+    Construction goes through the public :class:`~repro.api.EngineConfig`
+    — pass one directly (usually ``ExperimentConfig.engine_config()``) or
+    let the legacy keyword knobs be folded into one.  ``shards = 1`` (the
+    default) builds the classic single-engine ``Spade``, larger values a
+    ``ShardedSpade`` hash-partitioned over that many shard engines.
     """
-    spade = create_engine(semantics, shards=shards, edge_grouping=edge_grouping, backend=backend)
+    if config is None:
+        config = EngineConfig(backend=backend, shards=shards, edge_grouping=edge_grouping)
+    spade = config.build(semantics)
     spade.load_graph(dataset.initial_graph(semantics))
     return spade
 
@@ -237,13 +255,13 @@ def standard_argument_parser(description: str) -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["dict", "array"],
+        choices=list(VALID_BACKENDS),
         default=None,
         help="graph backend for the engines (default: process default)",
     )
     parser.add_argument(
         "--static",
-        choices=["heap", "csr"],
+        choices=list(VALID_STATIC),
         default="heap",
         help="static-peel method for baselines: heap (Algorithm 1) or csr "
         "(vectorised peel over a frozen CSR snapshot)",
@@ -274,4 +292,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config.static = args.static
     if getattr(args, "shards", None):
         config.shards = args.shards
+    # One validation choke point for every experiment CLI (argparse
+    # ``choices`` already guards flag values; this also covers configs
+    # built programmatically and the shards count).
+    validate_config(backend=config.backend, static=config.static, shards=config.shards)
     return config

@@ -45,6 +45,7 @@ from repro.core.grouping import EdgeGrouper, is_benign
 from repro.core.insertion import insert_edge as _insert_edge
 from repro.core.reorder import ReorderStats
 from repro.core.state import Community, PeelingState
+from repro.config import validate_config
 from repro.errors import StateError
 from repro.graph.backend import backend_of, convert_graph, get_default_backend
 from repro.graph.delta import EdgeUpdate
@@ -97,6 +98,7 @@ class Spade:
         edge_grouping: bool = False,
         backend: Optional[str] = None,
     ) -> None:
+        validate_config(backend=backend)
         self._semantics = semantics or dg_semantics()
         self._backend = backend
         self._state: Optional[PeelingState] = None
@@ -268,6 +270,15 @@ class Spade:
         self.last_stats = insert_batch(state, batch)
         return state.community()
 
+    def delete_edge(self, src: Vertex, dst: Vertex) -> Community:
+        """Delete one outdated transaction and return the updated community.
+
+        Singular convenience symmetric with :meth:`insert_edge`; delegates
+        to :meth:`delete_edges`, so :attr:`last_stats` is updated the same
+        way.
+        """
+        return self.delete_edges([(src, dst)])
+
     def delete_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> Community:
         """Delete outdated transactions (Appendix C.1) and return the community.
 
@@ -306,5 +317,12 @@ class Spade:
         return is_benign(state, src, dst, edge_weight)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        loaded = "unloaded" if self._state is None else f"|V|={self.state.graph.num_vertices()}"
-        return f"Spade(semantics={self._semantics.name}, {loaded})"
+        if self._state is None:
+            loaded = "unloaded"
+        else:
+            graph = self._state.graph
+            loaded = f"|V|={graph.num_vertices()}, |E|={graph.num_edges()}"
+        return (
+            f"Spade(semantics={self._semantics.name}, "
+            f"backend={self.backend}, {loaded})"
+        )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.config import validate_config
 from repro.core.spade import Spade
 from repro.engine.protocol import DetectionEngine
 from repro.engine.router import ShardRouter
@@ -44,7 +45,12 @@ def create_engine(
     engines.  ``sharded_options`` (``coordinator_interval``,
     ``executor``) are forwarded to :class:`ShardedSpade` and rejected for
     the single engine.
+
+    Prefer constructing through :class:`repro.api.EngineConfig` /
+    :class:`repro.api.SpadeClient`; this factory is the layer they build
+    on.
     """
+    validate_config(backend=backend)
     if shards <= 1:
         if sharded_options:
             unknown = ", ".join(sorted(sharded_options))

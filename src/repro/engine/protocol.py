@@ -98,6 +98,7 @@ class DetectionEngine(Protocol):
         dst_prior: Optional[float] = None,
     ) -> Community: ...
     def insert_batch_edges(self, batch: BatchInput) -> Community: ...
+    def delete_edge(self, src: Vertex, dst: Vertex) -> Community: ...
     def delete_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> Community: ...
 
     # --- flush -------------------------------------------------------- #

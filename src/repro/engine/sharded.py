@@ -57,6 +57,7 @@ from repro.core.grouping import is_benign_on_graph
 from repro.core.reorder import ReorderStats
 from repro.core.spade import Spade
 from repro.core.state import Community, PeelingState
+from repro.config import validate_config
 from repro.engine.router import ShardRouter
 from repro.errors import StateError
 from repro.graph.backend import backend_of, convert_graph, create_graph, get_default_backend
@@ -122,12 +123,12 @@ class ShardedSpade:
         coordinator_interval: int = 1024,
         executor: str = "serial",
     ) -> None:
-        if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-        if coordinator_interval < 1:
-            raise ValueError(f"coordinator_interval must be >= 1, got {coordinator_interval}")
-        if executor not in ("serial", "process"):
-            raise ValueError(f"unknown executor {executor!r}; expected 'serial' or 'process'")
+        validate_config(
+            backend=backend,
+            shards=num_shards,
+            executor=executor,
+            coordinator_interval=coordinator_interval,
+        )
         self._semantics = semantics or dg_semantics()
         self._shard_semantics = _preweighted(self._semantics)
         self._num_shards = num_shards
@@ -376,6 +377,13 @@ class ShardedSpade:
         self.last_stats = self._ingest(updates, batch=True)
         return self._local_community()
 
+    def delete_edge(self, src: Vertex, dst: Vertex) -> Community:
+        """Delete one outdated transaction; returns the shard-local view.
+
+        Singular convenience symmetric with :meth:`insert_edge`.
+        """
+        return self.delete_edges([(src, dst)])
+
     def delete_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> Community:
         """Delete outdated transactions; returns the shard-local view."""
         mirror = self._require_loaded()
@@ -553,8 +561,11 @@ class ShardedSpade:
         if self._mirror is None:
             loaded = "unloaded"
         else:
-            loaded = f"|V|={self._mirror.num_vertices()}, pending={len(self._pending)}"
+            loaded = (
+                f"|V|={self._mirror.num_vertices()}, "
+                f"|E|={self._mirror.num_edges()}, pending={len(self._pending)}"
+            )
         return (
             f"ShardedSpade(semantics={self._semantics.name}, "
-            f"shards={self._num_shards}, {loaded})"
+            f"backend={self.backend}, shards={self._num_shards}, {loaded})"
         )

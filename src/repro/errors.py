@@ -56,6 +56,17 @@ class InvalidWeightError(GraphError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """An engine was configured with an invalid knob value.
+
+    Raised by :func:`repro.config.validate_config` — the single
+    validation choke point for backend / static-peel / shard / executor /
+    semantics choices — with a message that lists the valid choices.
+    Subclasses :class:`ValueError` so callers that historically caught
+    ``ValueError`` around engine construction keep working.
+    """
+
+
 class SemanticsError(ReproError):
     """A user-supplied suspiciousness function returned an invalid value."""
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.api.config import EngineConfig
 from repro.graph.graph import DynamicGraph
 from repro.peeling.semantics import PeelingSemantics, dw_semantics
 from repro.pipeline.transaction_log import TransactionLog, TransactionRecord
@@ -22,6 +23,11 @@ class GraphBuilder:
 
     def __init__(self, semantics: Optional[PeelingSemantics] = None) -> None:
         self._semantics = semantics or dw_semantics()
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "GraphBuilder":
+        """Build a builder whose semantics comes from an engine config."""
+        return cls(config.semantics_instance())
 
     @property
     def semantics(self) -> PeelingSemantics:

@@ -22,7 +22,10 @@ from __future__ import annotations
 import time
 from typing import FrozenSet, List, Optional
 
-from repro.engine import DetectionEngine, create_engine
+from repro.api.client import SpadeClient
+from repro.api.config import EngineConfig
+from repro.api.events import Insert
+from repro.engine import DetectionEngine
 from repro.graph.graph import DynamicGraph, Vertex
 from repro.peeling.semantics import PeelingSemantics
 from repro.peeling.static import peel
@@ -30,6 +33,38 @@ from repro.pipeline.builder import GraphBuilder
 from repro.pipeline.transaction_log import TransactionRecord
 
 __all__ = ["PeriodicStaticDetector", "RealTimeSpadeDetector"]
+
+
+def _fold_engine_config(
+    config: Optional[EngineConfig],
+    *,
+    edge_grouping: bool,
+    backend: Optional[str],
+    shards: int,
+) -> EngineConfig:
+    """Fold the legacy keyword knobs into an :class:`EngineConfig`.
+
+    Without ``config`` the knobs become one; with ``config`` any
+    *non-default* legacy knob is rejected so a migration typo cannot
+    silently configure a different engine than the caller asked for.
+    """
+    if config is None:
+        return EngineConfig(edge_grouping=edge_grouping, backend=backend, shards=shards)
+    conflicting = [
+        name
+        for name, value, default in (
+            ("edge_grouping", edge_grouping, False),
+            ("backend", backend, None),
+            ("shards", shards, 1),
+        )
+        if value != default
+    ]
+    if conflicting:
+        raise TypeError(
+            "pass engine knobs either via config or via the legacy keywords, "
+            f"not both (got config plus {', '.join(conflicting)})"
+        )
+    return config
 
 
 class PeriodicStaticDetector:
@@ -86,16 +121,18 @@ class PeriodicStaticDetector:
 class RealTimeSpadeDetector:
     """Detect after every transaction via Spade's incremental maintenance.
 
-    ``backend`` selects the graph backend of the underlying engine
-    (``"dict"`` / ``"array"``; ``None`` = process default) — the adopted
-    initial graph is converted if it uses a different backend.
-    ``shards`` > 1 scales detection across that many hash-partitioned
-    shard engines behind a coordinator
-    (:class:`repro.engine.sharded.ShardedSpade`); the per-transaction
-    community is then the shard-local real-time view, reconciled with the
-    exact merged detection every ``merge_every`` transactions — a fraud
-    ring whose members hash onto different shards only surfaces in the
-    merged pass.
+    The detector programs against the v1 public API: an
+    :class:`~repro.api.EngineConfig` describes the engine (backend,
+    shards, edge grouping) and a :class:`~repro.api.SpadeClient` hosts it.
+    Pass ``config`` directly, or use the legacy keyword knobs
+    (``edge_grouping`` / ``backend`` / ``shards``), which are folded into
+    a config.
+
+    With ``shards`` > 1 detection scales across hash-partitioned shard
+    engines behind a coordinator; the per-transaction community is then
+    the shard-local real-time view, reconciled with the exact merged
+    detection every ``merge_every`` transactions — a fraud ring whose
+    members hash onto different shards only surfaces in the merged pass.
     """
 
     def __init__(
@@ -106,15 +143,17 @@ class RealTimeSpadeDetector:
         backend: Optional[str] = None,
         shards: int = 1,
         merge_every: int = 200,
+        config: Optional[EngineConfig] = None,
     ) -> None:
-        self._spade = create_engine(
-            semantics, shards=shards, edge_grouping=edge_grouping, backend=backend
+        config = _fold_engine_config(
+            config, edge_grouping=edge_grouping, backend=backend, shards=shards
         )
-        self._spade.load_graph(initial_graph)
-        self._grouping = edge_grouping
-        self._shards = shards
-        self._merge_every = merge_every if shards > 1 else 0
-        self._community: FrozenSet[Vertex] = self._spade.detect().vertices
+        self._client = SpadeClient(config, semantics=semantics)
+        self._client.load(initial_graph)
+        self._grouping = config.edge_grouping
+        self._shards = config.shards
+        self._merge_every = merge_every if config.shards > 1 else 0
+        self._community: FrozenSet[Vertex] = self._client.detect().vertices
         self.compute_seconds = 0.0
         self.updates = 0
         #: Number of exact merged detections performed (sharded engines).
@@ -123,15 +162,20 @@ class RealTimeSpadeDetector:
     @property
     def name(self) -> str:
         """Detector name for reports (``IncDW``, ``IncDWG`` with grouping, ``IncDW-4s`` sharded)."""
-        name = f"Inc{self._spade.semantics.name}" + ("G" if self._grouping else "")
+        name = f"Inc{self._client.semantics.name}" + ("G" if self._grouping else "")
         if self._shards > 1:
             name += f"-{self._shards}s"
         return name
 
     @property
+    def client(self) -> SpadeClient:
+        """The public-API client the detector feeds."""
+        return self._client
+
+    @property
     def spade(self) -> DetectionEngine:
         """The underlying detection engine (for inspection)."""
-        return self._spade
+        return self._client.engine
 
     def observe(self, record: TransactionRecord) -> FrozenSet[Vertex]:
         """Insert one transaction and return the refreshed community.
@@ -141,18 +185,22 @@ class RealTimeSpadeDetector:
         coordinator pass) replaces it so cross-shard rings surface.
         """
         began = time.perf_counter()
-        community = self._spade.insert_edge(
-            record.customer,
-            record.merchant,
-            record.amount,
-            timestamp=record.timestamp,
+        report = self._client.apply(
+            [
+                Insert(
+                    record.customer,
+                    record.merchant,
+                    record.amount,
+                    timestamp=record.timestamp,
+                )
+            ]
         )
         self.updates += 1
         if self._merge_every and self.updates % self._merge_every == 0:
-            community = self._spade.detect()
+            report = self._client.detect()
             self.merged_detections += 1
         self.compute_seconds += time.perf_counter() - began
-        self._community = community.vertices
+        self._community = report.vertices
         return self._community
 
     def current_fraudsters(self) -> FrozenSet[Vertex]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api.config import EngineConfig
 from repro.graph.graph import DynamicGraph
 from repro.peeling.semantics import PeelingSemantics, dw_semantics
 from repro.pipeline.builder import GraphBuilder
@@ -64,7 +65,13 @@ class PipelineReport:
 
 
 class FraudDetectionPipeline:
-    """Grab's pipeline with a pluggable detector."""
+    """Grab's pipeline with a pluggable detector.
+
+    The real-time detector is described by an
+    :class:`~repro.api.EngineConfig`; pass one via ``config``, or use the
+    legacy keyword knobs (``edge_grouping`` / ``backend`` / ``shards``),
+    which are folded into a config.
+    """
 
     def __init__(
         self,
@@ -75,17 +82,21 @@ class FraudDetectionPipeline:
         auto_ban: bool = True,
         backend: Optional[str] = None,
         shards: int = 1,
+        config: Optional[EngineConfig] = None,
     ) -> None:
+        from repro.pipeline.detector import _fold_engine_config
+
         if detector not in ("spade", "periodic"):
             raise ValueError(f"unknown detector {detector!r}; expected 'spade' or 'periodic'")
-        if shards > 1 and detector != "spade":
+        config = _fold_engine_config(
+            config, edge_grouping=edge_grouping, backend=backend, shards=shards
+        )
+        if config.shards > 1 and detector != "spade":
             raise ValueError("sharded detection requires the 'spade' detector")
         self._semantics = semantics or dw_semantics()
         self._detector_kind = detector
         self._static_period = static_period
-        self._edge_grouping = edge_grouping
-        self._backend = backend
-        self._shards = shards
+        self._config = config
         self._builder = GraphBuilder(self._semantics)
         self.moderator = Moderator(auto_ban=auto_ban)
         self._detector = None
@@ -102,11 +113,7 @@ class FraudDetectionPipeline:
             )
         else:
             self._detector = RealTimeSpadeDetector(
-                self._semantics,
-                graph,
-                edge_grouping=self._edge_grouping,
-                backend=self._backend,
-                shards=self._shards,
+                self._semantics, graph, config=self._config
             )
         return graph
 

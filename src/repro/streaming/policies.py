@@ -16,6 +16,11 @@ and how they are applied:
 Policies only decide *when* to flush and *how* the flush is executed; all
 timing, latency and prevention accounting lives in
 :mod:`repro.streaming.replay` so that every policy is measured identically.
+
+Policies speak the v1 public API: each flush is applied through
+:meth:`repro.api.SpadeClient.apply` with the typed event stream
+(:class:`~repro.api.events.Insert` / :class:`~repro.api.events.InsertBatch`),
+so the same policy drives any engine the façade can host.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
-from repro.engine.protocol import DetectionEngine
+from repro.api.client import SpadeClient
+from repro.api.events import Insert, InsertBatch
 from repro.streaming.stream import TimestampedEdge
 
 __all__ = [
@@ -35,6 +41,17 @@ __all__ = [
 ]
 
 
+def _as_client(spade) -> SpadeClient:
+    """Accept either a :class:`SpadeClient` or a raw engine (wrapped).
+
+    The replay driver always hands policies a client; the raw-engine
+    path keeps direct callers (tests, notebooks) working unchanged.
+    """
+    if isinstance(spade, SpadeClient):
+        return spade
+    return SpadeClient.wrap(spade)
+
+
 class ProcessingPolicy(ABC):
     """Decides when to flush buffered edges and how to apply a flush."""
 
@@ -42,16 +59,16 @@ class ProcessingPolicy(ABC):
     name: str = "policy"
 
     @abstractmethod
-    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, client: SpadeClient, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         """Feed one edge; return a batch if it should be processed now."""
 
     def drain(self) -> Optional[List[TimestampedEdge]]:
         """Return whatever is still buffered at end of stream (may be None)."""
         return None
 
-    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
+    def process(self, client: SpadeClient, batch: Sequence[TimestampedEdge]) -> None:
         """Apply a flushed batch (default: incremental batch insertion)."""
-        spade.insert_batch_edges([e.as_update() for e in batch])
+        _as_client(client).apply([InsertBatch.of([e.as_update() for e in batch])])
 
     def describe(self) -> str:
         """Return a one-line description for reports."""
@@ -64,12 +81,13 @@ class PerEdgePolicy(ProcessingPolicy):
     def __init__(self, label: Optional[str] = None) -> None:
         self.name = label or "inc-per-edge"
 
-    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, client: SpadeClient, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         return [edge]
 
-    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
-        for edge in batch:
-            spade.insert_edge(edge.src, edge.dst, edge.weight, timestamp=edge.timestamp)
+    def process(self, client: SpadeClient, batch: Sequence[TimestampedEdge]) -> None:
+        _as_client(client).apply(
+            Insert(e.src, e.dst, e.weight, timestamp=e.timestamp) for e in batch
+        )
 
 
 class BatchPolicy(ProcessingPolicy):
@@ -82,7 +100,7 @@ class BatchPolicy(ProcessingPolicy):
         self.name = label or f"inc-batch-{batch_size}"
         self._buffer: List[TimestampedEdge] = []
 
-    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, client: SpadeClient, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         self._buffer.append(edge)
         if len(self._buffer) >= self.batch_size:
             batch, self._buffer = self._buffer, []
@@ -110,9 +128,9 @@ class EdgeGroupingPolicy(ProcessingPolicy):
         self.urgent_flushes = 0
         self.forced_flushes = 0
 
-    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, client: SpadeClient, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         self._buffer.append(edge)
-        urgent = not spade.is_benign(edge.src, edge.dst, edge.weight)
+        urgent = not client.is_benign(edge.src, edge.dst, edge.weight)
         full = self.max_buffer is not None and len(self._buffer) >= self.max_buffer
         if urgent or full:
             if urgent:
@@ -146,7 +164,7 @@ class PeriodicStaticPolicy(ProcessingPolicy):
         self._buffer: List[TimestampedEdge] = []
         self._next_deadline: Optional[float] = None
 
-    def offer(self, spade: DetectionEngine, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
+    def offer(self, client: SpadeClient, edge: TimestampedEdge) -> Optional[List[TimestampedEdge]]:
         if self._next_deadline is None:
             self._next_deadline = edge.timestamp + self.period
         self._buffer.append(edge)
@@ -162,10 +180,11 @@ class PeriodicStaticPolicy(ProcessingPolicy):
         batch, self._buffer = self._buffer, []
         return batch
 
-    def process(self, spade: DetectionEngine, batch: Sequence[TimestampedEdge]) -> None:
+    def process(self, client: SpadeClient, batch: Sequence[TimestampedEdge]) -> None:
         """Apply the batch structurally, then recompute the peel from scratch."""
-        graph = spade.graph
-        semantics = spade.semantics
+        client = _as_client(client)
+        graph = client.graph
+        semantics = client.semantics
         for edge in batch:
             for vertex, prior in ((edge.src, edge.src_prior), (edge.dst, edge.dst_prior)):
                 if not graph.has_vertex(vertex):
@@ -173,4 +192,4 @@ class PeriodicStaticPolicy(ProcessingPolicy):
             weight = semantics.edge_weight(edge.src, edge.dst, edge.weight, graph)
             graph.add_edge(edge.src, edge.dst, weight)
         # Re-running the static algorithm is exactly "detect from scratch".
-        spade.load_graph(graph)
+        client.load(graph)

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, Mapping, Optional, Sequence
+from typing import AbstractSet, Dict, Mapping, Optional, Sequence, Union
 
+from repro.api.client import SpadeClient
+from repro.api.events import Delete
 from repro.engine.protocol import DetectionEngine
 from repro.graph.graph import Vertex
 from repro.streaming.clock import SimulatedClock
@@ -75,7 +77,7 @@ def _check_detections(
 
 
 def replay_stream(
-    spade: DetectionEngine,
+    spade: Union[SpadeClient, DetectionEngine],
     stream: UpdateStream,
     policy: ProcessingPolicy,
     fraud_communities: Optional[Mapping[str, AbstractSet[Vertex]]] = None,
@@ -89,8 +91,12 @@ def replay_stream(
     Parameters
     ----------
     spade:
-        A detection engine (single ``Spade`` or ``ShardedSpade``) with the
-        initial graph already loaded.
+        A :class:`~repro.api.SpadeClient` — or a raw detection engine
+        (single ``Spade`` or ``ShardedSpade``), which is wrapped into one
+        — with the initial graph already loaded.  All maintenance goes
+        through the public façade (:meth:`SpadeClient.apply` /
+        :meth:`SpadeClient.detect`), so the replay measures exactly what a
+        consumer of the v1 API would observe.
     stream:
         The timestamped increments, replayed in order.
     policy:
@@ -116,6 +122,7 @@ def replay_stream(
         is therefore excluded from the measured compute time; it lets later
         fraud bursts surface as the new densest community.
     """
+    client = spade if isinstance(spade, SpadeClient) else SpadeClient.wrap(spade)
     fraud_communities = fraud_communities or {}
     latency = LatencyTracker()
     prevention = PreventionTracker()
@@ -139,7 +146,7 @@ def replay_stream(
             if label in banned_labels or prevention.detection_time(label) is None:
                 continue
             banned_labels.add(label)
-            graph = spade.graph
+            graph = client.graph
             doomed = []
             for vertex in members:
                 if not graph.has_vertex(vertex):
@@ -147,15 +154,15 @@ def replay_stream(
                 doomed.extend((vertex, dst) for dst in list(graph.out_neighbors(vertex)))
                 doomed.extend((src, vertex) for src in list(graph.in_neighbors(vertex)))
             if doomed:
-                spade.delete_edges(doomed)
+                client.apply([Delete.of(doomed)])
 
     def run_flush(batch: Sequence[TimestampedEdge], arrival: float) -> None:
         nonlocal processed_edges
         queue_start = max(clock.now, arrival)
         began = time.perf_counter()
-        policy.process(spade, batch)
+        policy.process(client, batch)
         if detect_after_flush:
-            community = spade.detect().vertices
+            community = client.detect().vertices
         else:
             community = frozenset()
         duration = time.perf_counter() - began
@@ -175,7 +182,7 @@ def replay_stream(
             # graph.  It still counts towards the prevention ratio (it was
             # recorded above and arrives after the detection time).
             continue
-        batch = policy.offer(spade, edge)
+        batch = policy.offer(client, edge)
         if batch:
             run_flush(batch, arrival=edge.timestamp)
 

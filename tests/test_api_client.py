@@ -1,0 +1,316 @@
+"""SpadeClient behaviour tests + the apply-vs-legacy differential suite.
+
+The central guarantee of the v1 façade: feeding a typed event stream
+through :meth:`SpadeClient.apply` leaves the engine in a state
+*bit-identical* to the equivalent sequence of legacy method calls
+(``insert_edge`` / ``insert_batch_edges`` / ``delete_edges`` /
+``flush_pending``), across backends and shard counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    Delete,
+    DetectionReport,
+    EngineConfig,
+    Flush,
+    Insert,
+    InsertBatch,
+    SpadeClient,
+)
+from repro.errors import StateError
+
+INITIAL = [
+    ("u1", "u2", 2.0),
+    ("u2", "u3", 1.0),
+    ("u1", "u3", 4.0),
+    ("u3", "u4", 2.0),
+    ("u4", "u5", 2.0),
+    ("u5", "u1", 3.0),
+]
+
+#: A mixed script exercising every event kind; weights are dyadic so
+#: every arithmetic path is exactly reproducible.
+SCRIPT = [
+    Insert("u6", "u1", 2.5),
+    Insert("u2", "u6", 1.25),
+    InsertBatch.of([("u7", "u6", 3.0), ("u6", "u7", 1.5), ("u1", "u7", 2.0)]),
+    Delete.of([("u1", "u2"), ("u3", "u4")]),
+    Insert("u7", "u2", 4.0),
+    Flush(),
+    InsertBatch.of([("u8", "u7", 2.0), ("u8", "u6", 2.0)]),
+    Delete.of([("u5", "u1")]),
+    Insert("u8", "u1", 0.5),
+    Flush(),
+]
+
+
+def _legacy_replay(engine, event):
+    """Apply one event exactly the way pre-façade consumers did."""
+    if isinstance(event, Insert):
+        return engine.insert_edge(
+            event.src,
+            event.dst,
+            event.weight,
+            timestamp=event.timestamp,
+            src_prior=event.src_prior,
+            dst_prior=event.dst_prior,
+        )
+    if isinstance(event, InsertBatch):
+        return engine.insert_batch_edges(event.updates)
+    if isinstance(event, Delete):
+        return engine.delete_edges(event.edges)
+    return engine.flush_pending()
+
+
+def _results_identical(a, b):
+    assert list(a.order) == list(b.order)
+    assert list(a.weights) == list(b.weights)
+    assert a.total_suspiciousness == b.total_suspiciousness
+    assert a.best_density == b.best_density
+    assert a.community == b.community
+
+
+class TestApplyVsLegacyDifferential:
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("algo", ["DW", "FD"])
+    def test_apply_is_bit_identical_to_legacy_calls(self, backend, shards, algo):
+        config = EngineConfig(
+            semantics=algo, backend=backend, shards=shards, coordinator_interval=4
+        )
+        legacy = config.build()
+        legacy.load_edges(INITIAL)
+        client = SpadeClient(config)
+        client.load(INITIAL)
+
+        for event in SCRIPT:
+            expected = _legacy_replay(legacy, event)
+            report = client.apply([event])
+            # Same per-event community view (exact for 1 shard, the
+            # shard-local lower bound for 4 — identical either way).
+            assert report.community == expected
+
+        # Identical merged detection and full peeling state afterwards.
+        assert client.detect().community == legacy.detect()
+        _results_identical(client.detect(include_result=True).result, legacy.result())
+
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_one_apply_call_equals_event_by_event(self, backend):
+        config = EngineConfig(semantics="DW", backend=backend)
+        one_call = SpadeClient(config)
+        one_call.load(INITIAL)
+        stepped = SpadeClient(config)
+        stepped.load(INITIAL)
+
+        final = one_call.apply(SCRIPT)
+        for event in SCRIPT:
+            last = stepped.apply([event])
+        assert final.community == last.community
+        _results_identical(
+            one_call.detect(include_result=True).result,
+            stepped.detect(include_result=True).result,
+        )
+
+    def test_edge_grouping_parity(self, two_block_graph, dw):
+        """Grouping engines defer identically under apply and legacy calls."""
+        config = EngineConfig(semantics="DW", edge_grouping=True)
+        legacy = config.build()
+        legacy.load_graph(two_block_graph)
+        client = SpadeClient(config)
+        client.load(dw.materialize(
+            [(u, v, w) for u, v, w in two_block_graph.edges()]
+        ))
+
+        # The first edge is benign (deferred), the second urgent (flushes).
+        script = [Insert("l2", "l0", 0.05), Insert("h0", "h2", 9.0), Flush()]
+        for event in script:
+            expected = _legacy_replay(legacy, event)
+            report = client.apply([event])
+            assert report.community == expected
+            assert client.pending_edges() == legacy.pending_edges()
+        assert legacy.pending_edges() == 0
+
+
+class TestClientLifecycle:
+    def test_load_edges_returns_full_report(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        report = client.load(INITIAL)
+        assert isinstance(report, DetectionReport)
+        assert report.result is not None
+        assert report.exact
+        assert report.vertices == client.detect().vertices
+
+    def test_load_graph_adopts(self):
+        config = EngineConfig(semantics="DW")
+        graph = config.semantics_instance().materialize(INITIAL)
+        client = SpadeClient(config)
+        client.load(graph)
+        assert client.graph is graph
+
+    def test_load_with_priors(self):
+        client = SpadeClient(EngineConfig(semantics="FD"))
+        client.load(INITIAL, vertex_priors={"u1": 2.0})
+        assert client.graph.vertex_weight("u1") == 2.0
+
+    def test_priors_rejected_for_graph_source(self):
+        config = EngineConfig(semantics="DW")
+        graph = config.semantics_instance().materialize(INITIAL)
+        with pytest.raises(TypeError):
+            SpadeClient(config).load(graph, vertex_priors={"u1": 1.0})
+
+    def test_detect_before_load_raises(self):
+        with pytest.raises(StateError):
+            SpadeClient().detect()
+
+    def test_context_manager_flushes_on_exit(self, two_block_graph):
+        with SpadeClient(EngineConfig(semantics="DW", edge_grouping=True)) as client:
+            client.load(two_block_graph)
+            client.apply([Insert("l2", "l0", 0.05)])
+            assert client.pending_edges() == 1
+            assert not client.graph.has_edge("l2", "l0")
+        assert client.pending_edges() == 0
+        assert client.graph.has_edge("l2", "l0")
+
+    def test_context_manager_safe_before_load(self):
+        with SpadeClient() as client:
+            assert client.shards == 1
+
+    def test_mapping_config_and_overrides(self):
+        client = SpadeClient({"semantics": "DW"}, backend="array")
+        assert client.config == EngineConfig(semantics="DW", backend="array")
+
+    def test_detector_rejects_config_plus_legacy_knobs(self):
+        from repro.pipeline.detector import RealTimeSpadeDetector
+        from repro.pipeline.pipeline import FraudDetectionPipeline
+
+        config = EngineConfig(semantics="DW")
+        graph = config.semantics_instance().materialize(INITIAL)
+        with pytest.raises(TypeError, match="shards"):
+            RealTimeSpadeDetector(
+                config.semantics_instance(), graph, shards=4, config=config
+            )
+        with pytest.raises(TypeError, match="backend"):
+            FraudDetectionPipeline(detector="spade", backend="array", config=config)
+
+    def test_wrap_adopts_engine(self):
+        config = EngineConfig(semantics="DW", backend="array", shards=2)
+        engine = config.build()
+        engine.load_edges(INITIAL)
+        client = SpadeClient.wrap(engine)
+        assert client.engine is engine
+        assert client.shards == 2
+        assert client.config.backend == "array"
+        assert client.config.semantics == "DW"
+
+
+class TestReports:
+    def test_apply_outcomes_per_event(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        report = client.apply(SCRIPT)
+        assert report.events == len(SCRIPT)
+        assert [o.kind for o in report.outcomes] == [
+            "insert",
+            "insert",
+            "insert_batch",
+            "delete",
+            "insert",
+            "flush",
+            "insert_batch",
+            "delete",
+            "insert",
+            "flush",
+        ]
+        assert report.edges_applied == 3 + 3 + 3 + 2 + 1  # inserts+batches+deletes
+        assert report.affected_area == sum(o.stats.affected_area for o in report.outcomes)
+        assert report.elapsed_seconds >= 0.0
+
+    def test_report_provenance(self):
+        client = SpadeClient(EngineConfig(semantics="FD", backend="array", shards=2))
+        client.load(INITIAL)
+        report = client.apply([Insert("u9", "u1", 1.0)])
+        assert report.semantics == "FD"
+        assert report.backend == "array"
+        assert report.shards == 2
+        assert not report.exact
+        assert client.detect().exact
+
+    def test_empty_apply_is_cheap_view(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        report = client.apply([])
+        assert report.events == 0
+        assert report.vertices == client.detect().vertices
+
+    def test_empty_apply_does_not_flush_deferred_edges(self, two_block_graph):
+        client = SpadeClient(EngineConfig(semantics="DW", edge_grouping=True))
+        client.load(two_block_graph)
+        client.apply([Insert("l2", "l0", 0.05)])
+        assert client.pending_edges() == 1
+        client.apply([])
+        assert client.pending_edges() == 1
+        assert not client.graph.has_edge("l2", "l0")
+
+    def test_report_to_dict_and_contains(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        report = client.load(INITIAL)
+        payload = report.to_dict()
+        assert payload["semantics"] == "DW"
+        assert payload["density"] == report.density
+        assert sorted(report.vertices)[0] in report
+
+    def test_communities_matches_engine_enumeration(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        instances = client.communities(max_instances=2, min_density=0.1)
+        assert instances
+        assert instances[0].vertices == client.detect().vertices
+
+
+class TestSnapshot:
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_snapshot_reflects_detect_view(self, backend):
+        client = SpadeClient(EngineConfig(semantics="DW", backend=backend))
+        client.load(INITIAL)
+        client.apply([Insert("u6", "u1", 2.0)])
+        snapshot = client.snapshot()
+        assert snapshot.num_vertices == client.graph.num_vertices()
+        assert snapshot.num_edges == client.graph.num_edges()
+
+    def test_sharded_snapshot_is_global_mirror(self):
+        client = SpadeClient(EngineConfig(semantics="DW", backend="array", shards=4))
+        client.load(INITIAL)
+        client.apply([Insert("u6", "u1", 2.0)])
+        snapshot = client.snapshot()
+        assert snapshot.num_edges == client.graph.num_edges()
+
+
+class TestReprs:
+    def test_spade_repr_mentions_backend_and_sizes(self):
+        config = EngineConfig(semantics="DW", backend="array")
+        engine = config.build()
+        assert "unloaded" in repr(engine)
+        engine.load_edges(INITIAL)
+        text = repr(engine)
+        assert "backend=array" in text
+        assert "|V|=5" in text and "|E|=6" in text
+
+    def test_sharded_repr_mentions_shards_and_sizes(self):
+        engine = EngineConfig(semantics="DW", backend="array", shards=3).build()
+        engine.load_edges(INITIAL)
+        text = repr(engine)
+        assert "shards=3" in text
+        assert "backend=array" in text
+        assert "|V|=5" in text and "|E|=6" in text
+
+    def test_csr_snapshot_repr(self):
+        client = SpadeClient(EngineConfig(semantics="DW", backend="array"))
+        client.load(INITIAL)
+        text = repr(client.snapshot())
+        assert "|V|=5" in text and "|E|=6" in text and "version=" in text
+
+    def test_client_repr_mentions_config(self):
+        assert "EngineConfig" in repr(SpadeClient())

@@ -90,6 +90,32 @@ class TestUpdates:
         assert not spade.graph.has_edge("u1", "u3")
         assert_matches_static(spade.state)
 
+    def test_delete_edge_singular(self, dw):
+        """delete_edge(src, dst) mirrors insert_edge's singular convenience."""
+        spade = Spade(dw)
+        spade.load_edges(EDGES)
+        community = spade.delete_edge("u1", "u3")
+        assert not spade.graph.has_edge("u1", "u3")
+        assert community == spade.detect()
+        assert_matches_static(spade.state)
+
+    def test_delete_edge_matches_delete_edges(self, dw):
+        singular = Spade(dw)
+        singular.load_edges(EDGES)
+        plural = Spade(dw)
+        plural.load_edges(EDGES)
+        assert singular.delete_edge("u3", "u4") == plural.delete_edges([("u3", "u4")])
+        assert singular.result() == plural.result()
+        assert singular.last_stats == plural.last_stats
+
+    def test_delete_edge_sharded(self, dw):
+        from repro.engine import ShardedSpade
+
+        sharded = ShardedSpade(dw, num_shards=2)
+        sharded.load_edges(EDGES)
+        sharded.delete_edge("u1", "u3")
+        assert not sharded.graph.has_edge("u1", "u3")
+
     def test_last_stats_exposes_affected_area(self, dw):
         spade = Spade(dw)
         spade.load_edges(EDGES)
