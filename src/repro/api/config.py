@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional
 from repro.config import semantics_instance, validate_config
 from repro.errors import ConfigError
 from repro.peeling.semantics import PeelingSemantics
+from repro.serve.config import ServeConfig
 
 __all__ = ["EngineConfig"]
 
@@ -54,6 +55,11 @@ class EngineConfig:
     executor:
         ``"serial"`` / ``"process"`` — how a sharded engine computes
         per-shard communities (sharded engines only).
+    serve:
+        Optional nested :class:`~repro.serve.config.ServeConfig` for the
+        HTTP serving layer (``python -m repro.serve``).  ``None`` for
+        in-process use; a plain mapping is coerced (and validated), so a
+        single JSON document configures engine *and* server.
     """
 
     semantics: str = "DG"
@@ -63,6 +69,7 @@ class EngineConfig:
     edge_grouping: bool = False
     coordinator_interval: int = 1024
     executor: str = "serial"
+    serve: Optional[ServeConfig] = None
 
     def __post_init__(self) -> None:
         validate_config(
@@ -73,6 +80,13 @@ class EngineConfig:
             executor=self.executor,
             coordinator_interval=self.coordinator_interval,
         )
+        if self.serve is not None and not isinstance(self.serve, ServeConfig):
+            if isinstance(self.serve, Mapping):
+                object.__setattr__(self, "serve", ServeConfig.from_dict(self.serve))
+            else:
+                raise ConfigError(
+                    f"serve must be a ServeConfig, a mapping or None, got {self.serve!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # Round-tripping

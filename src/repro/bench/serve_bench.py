@@ -1,0 +1,376 @@
+"""HTTP serving bench: ingest throughput and query latency over the wire.
+
+Drives the fig10-style workload (same generator as
+:mod:`repro.bench.backend_bench`) through a real ``repro.serve`` server —
+initial graph loaded at boot, increments ingested over HTTP — and records
+wall-clock percentiles into ``BENCH_serve.json``:
+
+* ``single`` — keep-alive single-edge ``POST /v1/edges`` from ``--clients``
+  concurrent connections: sustained events/s plus p50/p99 ack latency
+  (each ack means the edge is WAL-logged *and* applied).  Every event pays
+  a full per-event detection here, so at fig10 scale this measures the
+  engine's detect-per-edge cost through the wire;
+* ``bulk`` — the same stream in ``--bulk-size`` chunks: one Algorithm-2
+  pass + one detection per chunk, the sustained-ingest mode a production
+  deployment would use;
+* ``query_under_load`` — ``GET /v1/detect`` latency percentiles measured
+  *while* the single-edge ingest runs, demonstrating that snapshot-isolated
+  reads do not stall behind the writer (the ISSUE's "non-blocking p99").
+
+The server runs in-process on a background event-loop thread (same
+interpreter, real sockets), so the bench measures the serving stack rather
+than process spawn noise.  ``--quick`` shrinks the workload for CI; the
+acceptance bar asserted by ``--check`` is sustained HTTP ingest (the
+faster of the two modes) ≥ 1000 events/s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._version import __version__
+from repro.api.config import EngineConfig
+from repro.bench.backend_bench import (
+    DEFAULT_INCREMENTS,
+    DEFAULT_INITIAL_EDGES,
+    DEFAULT_VERTICES,
+    QUICK_INCREMENTS,
+    QUICK_INITIAL_EDGES,
+    QUICK_VERTICES,
+    generate_stream,
+)
+from repro.serve.app import ServeApp
+from repro.serve.config import ServeConfig
+
+__all__ = ["run_serve_bench", "main"]
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Exact percentile over the raw samples (same method as timing.py)."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(samples, q * 100.0))
+
+
+class _AppThread:
+    """Run a :class:`ServeApp` on its own event loop in a daemon thread."""
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, name="serve-bench-loop", daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def start(self) -> int:
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.app.start(), self.loop).result(timeout=60)
+        return self.app.server.port
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.app.stop(), self.loop).result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+        self.loop.close()
+
+
+def _post_worker(
+    port: int,
+    rows: Sequence[tuple],
+    latencies: List[float],
+    failures: List[str],
+) -> None:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        for src, dst, weight in rows:
+            body = json.dumps({"src": src, "dst": dst, "weight": weight})
+            began = time.perf_counter()
+            connection.request(
+                "POST", "/v1/edges", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - began)
+            if response.status != 200:
+                failures.append(f"POST /v1/edges -> {response.status}")
+                return
+    except Exception as exc:  # noqa: BLE001 - report into the bench result
+        failures.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        connection.close()
+
+
+def _ingest_single(
+    port: int, increments: Sequence[tuple], clients: int
+) -> Tuple[Dict[str, float], List[str]]:
+    shards: List[List[tuple]] = [list(increments[i::clients]) for i in range(clients)]
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    failures: List[str] = []
+    threads = [
+        threading.Thread(target=_post_worker, args=(port, shard, lat, failures))
+        for shard, lat in zip(shards, latencies)
+    ]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - began
+    flat = [sample for lane in latencies for sample in lane]
+    row = {
+        "events": len(flat),
+        "clients": clients,
+        "seconds": round(elapsed, 4),
+        "throughput_eps": round(len(flat) / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(_percentile(flat, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(flat, 0.99) * 1e3, 3),
+    }
+    return row, failures
+
+
+def _ingest_bulk(
+    port: int, increments: Sequence[tuple], bulk_size: int
+) -> Tuple[Dict[str, float], List[str]]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    latencies: List[float] = []
+    failures: List[str] = []
+    sent = 0
+    began = time.perf_counter()
+    try:
+        for index in range(0, len(increments), bulk_size):
+            chunk = [
+                [src, dst, weight]
+                for src, dst, weight in increments[index : index + bulk_size]
+            ]
+            body = json.dumps({"edges": chunk})
+            chunk_began = time.perf_counter()
+            connection.request(
+                "POST", "/v1/edges", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - chunk_began)
+            if response.status != 200:
+                failures.append(f"bulk POST /v1/edges -> {response.status}")
+                break
+            sent += len(chunk)
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        connection.close()
+    elapsed = time.perf_counter() - began
+    row = {
+        "events": sent,
+        "bulk_size": bulk_size,
+        "requests": len(latencies),
+        "seconds": round(elapsed, 4),
+        "throughput_eps": round(sent / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+    return row, failures
+
+
+def _query_worker(
+    port: int, stop: threading.Event, latencies: List[float], failures: List[str]
+) -> None:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        while not stop.is_set():
+            began = time.perf_counter()
+            connection.request("GET", "/v1/detect")
+            response = connection.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - began)
+            if response.status != 200:
+                failures.append(f"GET /v1/detect -> {response.status}")
+                return
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        connection.close()
+
+
+def run_serve_bench(
+    num_vertices: int = DEFAULT_VERTICES,
+    num_initial: int = DEFAULT_INITIAL_EDGES,
+    num_increments: int = 4000,
+    seed: int = 42,
+    clients: int = 16,
+    bulk_size: int = 200,
+    fsync: bool = False,
+    max_batch: int = 256,
+    max_delay_ms: float = 2.0,
+) -> Dict[str, object]:
+    """Run the three phases against one in-process server; return the report."""
+    initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
+    # Labels over the wire are JSON strings; keep the offline shape equal.
+    initial = [(f"v{s}", f"v{d}", w) for s, d, w in initial]
+    increments = [(f"v{s}", f"v{d}", w) for s, d, w in increments]
+
+    config = EngineConfig(
+        semantics="DW",
+        backend="array",
+        serve=ServeConfig(
+            port=0,
+            wal_dir=None,  # pure serving-path measurement; --fsync adds the WAL
+            fsync=False,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            queue_size=4096,
+        ),
+    )
+    wal_tmp: Optional[Path] = None
+    if fsync:
+        import tempfile
+
+        wal_tmp = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+        config = config.replace(
+            serve=config.serve.replace(wal_dir=str(wal_tmp), fsync=True)  # type: ignore[union-attr]
+        )
+
+    runner = _AppThread(ServeApp(config, initial_edges=initial))
+    port = runner.start()
+    failures: List[str] = []
+    try:
+        half = len(increments) // 2
+        # Phase 1: single-edge ingest alone.
+        single_row, phase_failures = _ingest_single(port, increments[:half], clients)
+        failures.extend(phase_failures)
+
+        # Phase 2: queries concurrent with the second ingest half.
+        stop = threading.Event()
+        query_latencies: List[float] = []
+        query_thread = threading.Thread(
+            target=_query_worker, args=(port, stop, query_latencies, failures)
+        )
+        query_thread.start()
+        under_load_row, phase_failures = _ingest_single(port, increments[half:], clients)
+        failures.extend(phase_failures)
+        stop.set()
+        query_thread.join()
+        query_row = {
+            "queries": len(query_latencies),
+            "p50_ms": round(_percentile(query_latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(query_latencies, 0.99) * 1e3, 3),
+        }
+
+        # Phase 3: the same increment stream again, bulk-chunked.
+        bulk_row, phase_failures = _ingest_bulk(port, increments, bulk_size)
+        failures.extend(phase_failures)
+    finally:
+        runner.stop()
+        if wal_tmp is not None:
+            import shutil
+
+            shutil.rmtree(wal_tmp, ignore_errors=True)
+
+    return {
+        "bench": "serve",
+        "version": __version__,
+        "workload": {
+            "num_vertices": num_vertices,
+            "num_initial": num_initial,
+            "num_increments": num_increments,
+            "seed": seed,
+            "semantics": "DW",
+            "backend": "array",
+            "durability": "wal+fsync" if fsync else "none",
+        },
+        "single": single_row,
+        "single_under_queries": under_load_row,
+        "query_under_load": query_row,
+        "bulk": bulk_row,
+        "failures": failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serve_bench",
+        description="HTTP ingest/query latency bench for repro.serve.",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI workload")
+    parser.add_argument("--vertices", type=int, default=None)
+    parser.add_argument("--initial", type=int, default=None)
+    parser.add_argument("--increments", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--bulk-size", type=int, default=200)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--fsync", action="store_true", help="enable the WAL + fsync during the bench"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless sustained HTTP ingest (the faster of the "
+            "single-edge and bulk modes) reaches >= 1000 events/s"
+        ),
+    )
+    parser.add_argument("--output", type=Path, default=Path("BENCH_serve.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        vertices = args.vertices or QUICK_VERTICES
+        initial = args.initial or QUICK_INITIAL_EDGES
+        increments = args.increments or max(QUICK_INCREMENTS * 20, 1200)
+    else:
+        vertices = args.vertices or DEFAULT_VERTICES
+        initial = args.initial or DEFAULT_INITIAL_EDGES
+        increments = args.increments or 4000
+
+    report = run_serve_bench(
+        num_vertices=vertices,
+        num_initial=initial,
+        num_increments=increments,
+        seed=args.seed,
+        clients=args.clients,
+        bulk_size=args.bulk_size,
+        fsync=args.fsync,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    single = report["single"]  # type: ignore[index]
+    query = report["query_under_load"]  # type: ignore[index]
+    bulk = report["bulk"]  # type: ignore[index]
+    print(
+        f"single: {single['throughput_eps']} ev/s "
+        f"(p50 {single['p50_ms']} ms, p99 {single['p99_ms']} ms) | "
+        f"query under load: p50 {query['p50_ms']} ms, p99 {query['p99_ms']} ms "
+        f"({query['queries']} queries) | "
+        f"bulk: {bulk['throughput_eps']} ev/s"
+    )
+    failures = report["failures"]  # type: ignore[index]
+    if failures:
+        for failure in failures:  # type: ignore[union-attr]
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    sustained = max(float(single["throughput_eps"]), float(bulk["throughput_eps"]))
+    if args.check and sustained < 1000.0:
+        print(
+            f"FAIL: sustained HTTP ingest {sustained} ev/s "
+            "(best of single-edge and bulk) < 1000 ev/s acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

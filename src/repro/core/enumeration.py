@@ -31,7 +31,12 @@ from repro.peeling.result import PeelingResult
 from repro.peeling.semantics import subset_density
 from repro.peeling.static import peel_subset, peel_subset_csr
 
-__all__ = ["CommunityInstance", "enumerate_communities", "split_instances"]
+__all__ = [
+    "CommunityInstance",
+    "enumerate_communities",
+    "enumerate_csr",
+    "split_instances",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +137,71 @@ def enumerate_communities(
         # enumeration bit-identical (snapshot.subset_density sums pairwise
         # and can drift by ulps on non-dyadic weights).
         density = subset_density(graph, community)
+        if density <= min_density or len(community) < min_size:
+            break
+        instances.append(
+            CommunityInstance(vertices=frozenset(community), density=density, rank=len(instances))
+        )
+        remaining -= community
+    return instances
+
+
+def _subset_density_csr(snapshot, subset: Set[Vertex]) -> float:
+    """Label-path ``g(S)`` over a snapshot, bit-matching the mutable path.
+
+    Accumulates in exactly the association order of
+    :func:`repro.peeling.semantics.subset_suspiciousness` — per vertex of
+    ``set(subset)``, prior first, then out-neighbors in pool order — so an
+    enumeration over a snapshot reports the same densities as one over the
+    live graph it froze.
+    """
+    if not subset:
+        return 0.0
+    members = set(subset)
+    out_offsets = snapshot.out_offsets
+    out_neighbors = snapshot.out_neighbors
+    out_weights = snapshot.out_weights
+    vertex_weights = snapshot.vertex_weights
+    labels = snapshot.labels
+    total = 0.0
+    for vertex in members:
+        vid = snapshot.id_of(vertex)
+        if vid < 0 or not snapshot.member[vid]:
+            continue
+        total += float(vertex_weights[vid])
+        for pos in range(int(out_offsets[vid]), int(out_offsets[vid + 1])):
+            if labels[int(out_neighbors[pos])] in members:
+                total += float(out_weights[pos])
+    return total / len(subset)
+
+
+def enumerate_csr(
+    snapshot,
+    max_instances: int = 10,
+    min_density: float = 0.0,
+    min_size: int = 2,
+    semantics_name: str = "custom",
+) -> List[CommunityInstance]:
+    """Enumerate dense communities from an immutable CSR snapshot alone.
+
+    The read-isolated twin of :func:`enumerate_communities`: the serving
+    layer answers ``GET /v1/communities`` from a frozen
+    :class:`~repro.graph.csr.CsrSnapshot` while the writer keeps mutating
+    the live graph.  The loop is the same report-remove-repeel cycle; the
+    first community comes from a fresh peel rather than the maintained
+    sequence, which is identical for the exactly-maintained semantics
+    (DG / DW — the property the serve consistency tests pin).
+    """
+    if snapshot.labels is None:
+        raise ValueError("enumerate_csr needs a snapshot saved with labels")
+    remaining: Set[Vertex] = set(snapshot.labels_for(snapshot.order))
+    instances: List[CommunityInstance] = []
+    while remaining and len(instances) < max_instances:
+        result = peel_subset_csr(snapshot, remaining, semantics_name=semantics_name)
+        community = set(result.community) & remaining
+        if not community:
+            break
+        density = _subset_density_csr(snapshot, community)
         if density <= min_density or len(community) < min_size:
             break
         instances.append(

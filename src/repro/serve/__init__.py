@@ -1,0 +1,70 @@
+"""``repro.serve``: the production serving subsystem.
+
+Turns the in-process :class:`~repro.api.SpadeClient` into a long-running
+network service: an asyncio HTTP gateway with micro-batched ingest
+(:mod:`repro.serve.ingest`), snapshot-isolated queries
+(:mod:`repro.serve.snapshots`), WAL + checkpoint durability
+(:mod:`repro.serve.wal` / :mod:`repro.serve.recovery`) and Prometheus
+metrics (:mod:`repro.serve.metrics`).  Run it with::
+
+    python -m repro.serve --config engine.json --port 8080
+
+Only :class:`ServeConfig` is imported eagerly — it is nested inside
+:class:`repro.api.EngineConfig`, and pulling the server stack into every
+``import repro.api`` would create an import cycle; the heavier members
+load lazily on first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.serve.config import ServeConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeApp
+    from repro.serve.ingest import IngestGateway
+    from repro.serve.metrics import MetricsRegistry
+    from repro.serve.recovery import CheckpointStore, RecoveredState, recover
+    from repro.serve.server import HttpServer
+    from repro.serve.snapshots import SnapshotService
+    from repro.serve.wal import WriteAheadLog
+
+__all__ = [
+    "ServeConfig",
+    "ServeApp",
+    "IngestGateway",
+    "SnapshotService",
+    "WriteAheadLog",
+    "CheckpointStore",
+    "RecoveredState",
+    "recover",
+    "HttpServer",
+    "MetricsRegistry",
+]
+
+_LAZY = {
+    "ServeApp": ("repro.serve.app", "ServeApp"),
+    "IngestGateway": ("repro.serve.ingest", "IngestGateway"),
+    "SnapshotService": ("repro.serve.snapshots", "SnapshotService"),
+    "WriteAheadLog": ("repro.serve.wal", "WriteAheadLog"),
+    "CheckpointStore": ("repro.serve.recovery", "CheckpointStore"),
+    "RecoveredState": ("repro.serve.recovery", "RecoveredState"),
+    "recover": ("repro.serve.recovery", "recover"),
+    "HttpServer": ("repro.serve.server", "HttpServer"),
+    "MetricsRegistry": ("repro.serve.metrics", "MetricsRegistry"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.serve' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,398 @@
+"""``ServeApp``: routes, lifecycle and durability wiring for one deployment.
+
+The composition root of the serving subsystem.  One
+:class:`~repro.api.EngineConfig` (with its nested
+:class:`~repro.serve.config.ServeConfig`) describes the whole deployment;
+:class:`ServeApp` recovers or boots the engine, wires the WAL, checkpoint
+store, ingest gateway and snapshot service around one shared
+``asyncio.Lock``, and exposes the HTTP surface:
+
+==========================  =====================================================
+``POST /v1/edges``          single event or bulk ``{"edges": [...]}`` ingest;
+                            micro-batched, durable before ack; ``429`` +
+                            ``Retry-After`` under backpressure
+``POST /v1/flush``          force-flush deferred work (ordering barrier)
+``GET /v1/detect``          exact detection from the current snapshot
+``GET /v1/communities``     dense instances, ``offset``/``limit`` paginated
+``GET /v1/vertices/{v}``    per-vertex stats from the current snapshot
+``GET /healthz``            liveness + engine shape
+``GET /metrics``            Prometheus text exposition
+==========================  =====================================================
+
+Every data response carries the snapshot ``version`` (the WAL sequence it
+reflects), which is the isolation contract clients can assert against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro._version import __version__
+from repro.api.config import EngineConfig
+from repro.errors import ReproError
+from repro.graph.delta import EdgeUpdate
+from repro.peeling.semantics import PeelingSemantics
+from repro.serve.config import ServeConfig
+from repro.serve.ingest import IngestGateway
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.recovery import CheckpointStore, recover
+from repro.serve.server import HttpError, HttpServer, Request, Response, json_response
+from repro.serve.snapshots import SnapshotService
+from repro.serve.wal import WriteAheadLog
+
+__all__ = ["ServeApp", "RUNINFO_FILENAME"]
+
+#: JSON file written into ``wal_dir`` once the server is listening —
+#: ``{"host": ..., "port": ..., "pid": ...}`` — so tooling (the CI smoke,
+#: the bench) can discover an OS-assigned port.
+RUNINFO_FILENAME = "server.json"
+
+
+def _parse_label(value: object) -> object:
+    """Validate a vertex label from the wire (JSON scalar, not null/bool).
+
+    Anything else (objects, arrays, null) would be durably WAL-appended
+    and then blow up inside the engine with a non-deterministic-looking
+    ``TypeError`` — poisoning recovery.  Reject it before the queue.
+    """
+    if isinstance(value, str):
+        if value:
+            return value
+        raise HttpError(400, "vertex labels must be non-empty")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    raise HttpError(400, f"vertex labels must be JSON strings or numbers, got {value!r}")
+
+
+def _parse_prior(value: object) -> Optional[float]:
+    """Validate an optional vertex prior (null or a non-negative number)."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value >= 0:
+            return float(value)
+        raise HttpError(400, f"vertex priors must be >= 0, got {value}")
+    raise HttpError(400, f"vertex priors must be numbers or null, got {value!r}")
+
+
+def _parse_update(item: object) -> EdgeUpdate:
+    """Coerce one wire-format edge into an :class:`EdgeUpdate` insert."""
+    if isinstance(item, Mapping):
+        try:
+            src = item["src"]
+            dst = item["dst"]
+        except KeyError as exc:
+            raise HttpError(400, f"edge object missing key {exc}")
+        weight = item.get("weight", 1.0)
+        src_prior = item.get("src_prior")
+        dst_prior = item.get("dst_prior")
+    elif isinstance(item, Sequence) and not isinstance(item, (str, bytes)):
+        if len(item) == 2:
+            src, dst = item
+            weight, src_prior, dst_prior = 1.0, None, None
+        elif len(item) == 3:
+            src, dst, weight = item
+            src_prior = dst_prior = None
+        else:
+            raise HttpError(400, f"edge rows must be [src, dst] or [src, dst, weight], got {item!r}")
+    else:
+        raise HttpError(400, f"unsupported edge shape {item!r}")
+    try:
+        weight = float(weight)
+    except (TypeError, ValueError):
+        raise HttpError(400, f"edge weight must be a number, got {weight!r}")
+    if weight <= 0:
+        raise HttpError(400, f"edge weight must be > 0, got {weight}")
+    src = _parse_label(src)
+    dst = _parse_label(dst)
+    if src == dst:
+        # Reject before the WAL sees it: the graph layer would refuse the
+        # self loop anyway, and a pre-validated request fails fast with
+        # 400 instead of poisoning a coalesced batch.
+        raise HttpError(400, f"self loops are not part of the transaction model: {src!r}")
+    return EdgeUpdate(
+        src, dst, weight, src_weight=_parse_prior(src_prior), dst_weight=_parse_prior(dst_prior)
+    )
+
+
+def _int_query(request: Request, name: str, default: int, minimum: int, maximum: int) -> int:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise HttpError(400, f"query parameter {name} must be an integer, got {raw!r}")
+    if not minimum <= value <= maximum:
+        raise HttpError(400, f"query parameter {name} must be in [{minimum}, {maximum}]")
+    return value
+
+
+def _float_query(request: Request, name: str, default: float) -> float:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise HttpError(400, f"query parameter {name} must be a number, got {raw!r}")
+
+
+class ServeApp:
+    """One configured serving deployment (engine + durability + HTTP)."""
+
+    def __init__(
+        self,
+        config: Union[EngineConfig, Mapping[str, object]],
+        semantics: Optional[PeelingSemantics] = None,
+        initial_edges: Optional[List[tuple]] = None,
+    ) -> None:
+        if isinstance(config, Mapping):
+            config = EngineConfig.from_dict(config)
+        if config.serve is None:
+            config = config.replace(serve=ServeConfig())
+        self.config = config
+        self.serve_config: ServeConfig = config.serve  # type: ignore[assignment]
+        self._semantics = semantics
+        self._initial_edges = initial_edges
+        self._started_at = time.time()
+
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total", "HTTP requests handled"
+        )
+        self._m_detect_latency = self.metrics.histogram(
+            "repro_detect_seconds", "GET /v1/detect end-to-end handler time"
+        )
+        self._m_version = self.metrics.gauge(
+            "repro_snapshot_version", "WAL sequence the latest snapshot reflects"
+        )
+        self._m_vertices = self.metrics.gauge(
+            "repro_graph_vertices", "Vertices in the live graph"
+        )
+        self._m_edges = self.metrics.gauge(
+            "repro_graph_edges", "Unique directed edges in the live graph"
+        )
+
+        # --- engine (recover or fresh boot) --------------------------- #
+        recovered = recover(config, semantics=semantics, initial_edges=initial_edges)
+        self.client = recovered.client
+        self.recovered_ops = recovered.replayed_ops
+        self._lock = asyncio.Lock()
+        self.service = SnapshotService(self.client, self._lock)
+
+        # --- durability ----------------------------------------------- #
+        self._wal: Optional[WriteAheadLog] = None
+        self._checkpoints: Optional[CheckpointStore] = None
+        if self.serve_config.wal_dir is not None:
+            self._checkpoints = CheckpointStore(self.serve_config.wal_dir)
+            self._wal = WriteAheadLog(
+                self.serve_config.wal_dir,
+                fsync=self.serve_config.fsync,
+                next_seq=recovered.wal_seq + 1,
+                truncate_at=recovered.wal_offset,
+            )
+            if recovered.wal_seq == 0 and recovered.wal_offset == 0:
+                # First boot: cut checkpoint zero so recovery never needs
+                # the initial edge list again.
+                self._cut_checkpoint(0, 0)
+
+        self.gateway = IngestGateway(
+            self.client,
+            self.service,
+            self._lock,
+            self.serve_config,
+            self.metrics,
+            wal=self._wal,
+            checkpoint=self._cut_checkpoint if self._checkpoints is not None else None,
+        )
+        self._initial_seq = recovered.wal_seq
+        self.server = HttpServer(
+            self._handle,
+            host=self.serve_config.host,
+            port=self.serve_config.port,
+            max_body=self.serve_config.max_body_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _cut_checkpoint(self, wal_seq: int, wal_offset: int) -> None:
+        """Freeze the engine graph and persist a checkpoint (writer-held)."""
+        assert self._checkpoints is not None
+        self._checkpoints.save(self.client.snapshot(), wal_seq, wal_offset)
+
+    async def start(self) -> None:
+        """Start the writer task and the HTTP listener; publish runinfo."""
+        self.gateway.start(initial_seq=self._initial_seq)
+        await self.server.start()
+        if self.serve_config.wal_dir is not None:
+            runinfo = {
+                "host": self.serve_config.host,
+                "port": self.server.port,
+                "pid": os.getpid(),
+                "version": __version__,
+            }
+            path = Path(self.serve_config.wal_dir) / RUNINFO_FILENAME
+            path.write_text(json.dumps(runinfo), encoding="utf-8")
+
+    async def stop(self) -> None:
+        """Stop listening, drain pending writes, sync the WAL."""
+        await self.server.stop()
+        await self.gateway.stop()
+        if self._wal is not None:
+            self._wal.sync()
+            self._wal.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _handle(self, request: Request) -> Response:
+        self._m_requests.inc()
+        path = request.path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                return await self._handle_health(request)
+            if path == "/metrics":
+                return await self._handle_metrics(request)
+            if path == "/v1/edges":
+                self._require(request, "POST")
+                return await self._handle_edges(request)
+            if path == "/v1/flush":
+                self._require(request, "POST")
+                return await self._handle_flush(request)
+            if path == "/v1/detect":
+                self._require(request, "GET")
+                return await self._handle_detect(request)
+            if path == "/v1/communities":
+                self._require(request, "GET")
+                return await self._handle_communities(request)
+            if path.startswith("/v1/vertices/"):
+                self._require(request, "GET")
+                return await self._handle_vertex(request, path[len("/v1/vertices/"):])
+        except ReproError as exc:
+            raise HttpError(400, str(exc)) from exc
+        raise HttpError(404, f"no route for {request.method} {request.path}")
+
+    @staticmethod
+    def _require(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(405, f"{request.path} requires {method}")
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    async def _handle_edges(self, request: Request) -> Response:
+        payload = request.json()
+        if isinstance(payload, Mapping) and "edges" in payload:
+            rows = payload["edges"]
+            if not isinstance(rows, Sequence) or isinstance(rows, (str, bytes)):
+                raise HttpError(400, '"edges" must be an array')
+            if isinstance(payload.get("op"), str) and payload["op"] == "delete":
+                edges = []
+                for row in rows:
+                    if (
+                        not isinstance(row, Sequence)
+                        or isinstance(row, (str, bytes))
+                        or len(row) != 2
+                    ):
+                        raise HttpError(400, f"delete rows must be [src, dst], got {row!r}")
+                    edges.append((_parse_label(row[0]), _parse_label(row[1])))
+                if not edges:
+                    raise HttpError(400, "empty delete")
+                return await self._submit("delete", edges, len(edges))
+            updates = [_parse_update(row) for row in rows]
+        elif isinstance(payload, Sequence) and not isinstance(payload, (str, bytes)):
+            updates = [_parse_update(row) for row in payload]
+        else:
+            updates = [_parse_update(payload)]
+        if not updates:
+            raise HttpError(400, "empty edge list")
+        return await self._submit("insert", updates, len(updates))
+
+    async def _handle_flush(self, request: Request) -> Response:
+        return await self._submit("flush", (), 0)
+
+    async def _submit(self, kind: str, updates: Sequence, edges: int) -> Response:
+        future = self.gateway.submit(kind, updates, edges)
+        if future is None:
+            retry_after = max(1, int(self.serve_config.max_delay_ms / 1000.0) + 1)
+            raise HttpError(
+                429,
+                "ingest queue is full",
+                headers={"Retry-After": str(retry_after)},
+            )
+        result = await future
+        if "error" in result:
+            # The operation was durably logged but deterministically
+            # rejected by the engine (e.g. deleting an unknown edge).
+            # Recovery skips it the same way, so 400 is the final word.
+            raise HttpError(400, str(result["error"]))
+        self._m_version.set(result["version"])  # type: ignore[arg-type]
+        result = dict(result)
+        result["accepted"] = edges
+        return json_response(200, result)
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    async def _handle_detect(self, request: Request) -> Response:
+        began = time.perf_counter()
+        report = await self.service.detect()
+        self._m_detect_latency.observe(time.perf_counter() - began)
+        self._m_version.set(report["version"])  # type: ignore[arg-type]
+        return json_response(200, report)
+
+    async def _handle_communities(self, request: Request) -> Response:
+        offset = _int_query(request, "offset", 0, 0, 10**6)
+        limit = _int_query(request, "limit", 10, 1, 1000)
+        min_density = _float_query(request, "min_density", 0.0)
+        min_size = _int_query(request, "min_size", 2, 1, 10**6)
+        report = await self.service.communities(
+            offset=offset, limit=limit, min_density=min_density, min_size=min_size
+        )
+        return json_response(200, report)
+
+    async def _handle_vertex(self, request: Request, label: str) -> Response:
+        if not label:
+            raise HttpError(404, "missing vertex label")
+        info = await self.service.vertex(label)
+        if info is None:
+            raise HttpError(404, f"unknown vertex {label!r}")
+        return json_response(200, info)
+
+    # ------------------------------------------------------------------ #
+    # Operational endpoints
+    # ------------------------------------------------------------------ #
+    async def _handle_health(self, request: Request) -> Response:
+        graph = self.client.graph
+        payload = {
+            "status": "ok",
+            "version": self.service.version,
+            "vertices": graph.num_vertices(),
+            "edges": graph.num_edges(),
+            "pending": self.client.pending_edges(),
+            "semantics": self.client.semantics.name,
+            "backend": self.client.backend,
+            "shards": self.client.shards,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "recovered_ops": self.recovered_ops,
+            "library_version": __version__,
+        }
+        return json_response(200, payload)
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        graph = self.client.graph
+        self._m_vertices.set(graph.num_vertices())
+        self._m_edges.set(graph.num_edges())
+        self._m_version.set(self.service.version)
+        return Response(
+            200,
+            self.metrics.render().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )

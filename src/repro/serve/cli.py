@@ -1,0 +1,126 @@
+"""``python -m repro.serve``: run one deployment from one JSON document.
+
+Usage::
+
+    python -m repro.serve --config engine.json --port 8080
+
+``engine.json`` is an :class:`~repro.api.EngineConfig` dict, optionally
+carrying a nested ``"serve"`` section; CLI flags override the serving
+knobs so the same config file works across environments.  The initial
+graph comes from ``--load`` (a ``.jsonl`` update stream or a whitespace
+edgelist) on first boot only — once a WAL directory has a checkpoint, the
+server always recovers from checkpoint + WAL and ``--load`` is ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api.config import EngineConfig
+from repro.serve.app import ServeApp
+from repro.serve.config import ServeConfig
+
+__all__ = ["main", "build_parser", "load_initial_edges"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a Spade detection engine over HTTP.",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="EngineConfig JSON file (may embed a 'serve' section)",
+    )
+    parser.add_argument("--host", default=None, help="listen address override")
+    parser.add_argument("--port", type=int, default=None, help="listen port override (0 = OS-assigned)")
+    parser.add_argument("--wal-dir", default=None, help="durability directory override")
+    parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="do not fsync WAL appends (faster, crash-durable only)",
+    )
+    parser.add_argument(
+        "--load",
+        type=Path,
+        default=None,
+        help="initial edges (.jsonl stream or whitespace edgelist); first boot only",
+    )
+    return parser
+
+
+def load_initial_edges(path: Path) -> List[tuple]:
+    """Read initial ``(src, dst, weight)`` transactions from a file."""
+    if path.suffix == ".jsonl":
+        from repro.storage.jsonl import read_stream
+
+        return [(e.src, e.dst, e.weight) for e in read_stream(path)]
+    from repro.storage.edgelist import read_edgelist
+
+    return list(read_edgelist(path))
+
+
+def _resolve_config(args: argparse.Namespace) -> EngineConfig:
+    if args.config is not None:
+        with args.config.open("r", encoding="utf-8") as handle:
+            config = EngineConfig.from_dict(json.load(handle))
+    else:
+        config = EngineConfig()
+    serve = config.serve if config.serve is not None else ServeConfig()
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.wal_dir is not None:
+        overrides["wal_dir"] = args.wal_dir
+    if args.no_fsync:
+        overrides["fsync"] = False
+    if overrides:
+        serve = serve.replace(**overrides)
+    return config.replace(serve=serve)
+
+
+async def _run(config: EngineConfig, initial_edges: Optional[List[tuple]]) -> None:
+    app = ServeApp(config, initial_edges=initial_edges)
+    await app.start()
+    print(
+        f"repro.serve listening on http://{app.serve_config.host}:{app.server.port} "
+        f"(semantics={app.client.semantics.name}, backend={app.client.backend}, "
+        f"shards={app.client.shards}, recovered_ops={app.recovered_ops})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signame in ("SIGINT", "SIGTERM"):
+        try:
+            loop.add_signal_handler(getattr(signal, signame), stop.set)
+        except (NotImplementedError, AttributeError):  # pragma: no cover - win
+            pass
+    try:
+        await stop.wait()
+    finally:
+        await app.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _resolve_config(args)
+    initial = load_initial_edges(args.load) if args.load is not None else None
+    try:
+        asyncio.run(_run(config, initial))
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

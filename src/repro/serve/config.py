@@ -1,0 +1,117 @@
+"""``ServeConfig``: the serving-layer knobs, nested inside ``EngineConfig``.
+
+The serving subsystem adds deployment-shaped knobs (port, micro-batch
+window, WAL directory, checkpoint cadence) that belong in the same JSON
+document as the engine knobs — one config file describes one deployment.
+:class:`ServeConfig` mirrors :class:`repro.api.EngineConfig`'s contract:
+a frozen dataclass that validates on construction and round-trips through
+plain dicts, so ``EngineConfig.from_dict(json.load(f))`` rebuilds the
+whole thing (engine *and* server) from one file.
+
+This module deliberately imports only :mod:`repro.errors` so that
+``repro.api.config`` can nest it without pulling the asyncio server stack
+into every ``import repro.api``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """A complete, validated serving-layer configuration.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` asks the OS for a free port (the
+        resolved port is written to ``<wal_dir>/server.json`` and printed
+        at startup), which is what the bench and the CI smoke use.
+    max_batch:
+        Maximum number of edges coalesced into one Algorithm-2 batch pass
+        by the ingest gateway.
+    max_delay_ms:
+        Maximum milliseconds an accepted event may wait in the coalescing
+        window before it is committed (the latency half of the
+        throughput/latency trade).
+    queue_size:
+        Bound on the ingest queue (in submitted requests).  A full queue
+        makes ``POST /v1/edges`` answer ``429`` with ``Retry-After``
+        instead of buffering without limit.
+    wal_dir:
+        Directory for the write-ahead log and snapshot checkpoints.
+        ``None`` disables durability entirely (no WAL, no checkpoints,
+        no recovery) — useful for benches and throwaway servers.
+    fsync:
+        Whether every WAL commit is ``fsync``\\ ed before the HTTP
+        acknowledgment (durable against power loss, not just process
+        crash).
+    checkpoint_interval:
+        Number of accepted edges between ``.npz`` snapshot checkpoints.
+        Checkpoints bound recovery time: restart replays only the WAL
+        suffix past the latest checkpoint.
+    max_body_bytes:
+        Largest request body the HTTP server accepts (``413`` beyond).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 256
+    max_delay_ms: float = 5.0
+    queue_size: int = 1024
+    wal_dir: Optional[str] = None
+    fsync: bool = True
+    checkpoint_interval: int = 10000
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"host must be a non-empty string, got {self.host!r}")
+        if not 0 <= int(self.port) <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms < 0:
+            raise ConfigError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
+        if self.queue_size < 1:
+            raise ConfigError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.wal_dir is not None and not isinstance(self.wal_dir, str):
+            raise ConfigError(f"wal_dir must be a string path or None, got {self.wal_dir!r}")
+        if self.checkpoint_interval < 1:
+            raise ConfigError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.max_body_bytes < 1024:
+            raise ConfigError(
+                f"max_body_bytes must be >= 1024, got {self.max_body_bytes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Round-tripping (mirrors EngineConfig's contract)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Export as a plain JSON-serialisable dict (all knobs, always)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServeConfig":
+        """Build (and validate) a config from a dict; unknown keys fail."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ServeConfig keys: {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes: object) -> "ServeConfig":
+        """Return a copy with the given knobs changed (re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

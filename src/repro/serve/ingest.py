@@ -1,0 +1,318 @@
+"""The micro-batching ingest gateway: the serving layer's single writer.
+
+Concurrent ``POST /v1/edges`` handlers do not touch the engine.  They
+enqueue their parsed events on a bounded :class:`asyncio.Queue` and await
+a future; one writer task drains the queue, coalescing consecutive insert
+submissions into a single :class:`~repro.api.events.InsertBatch` — the
+paper's Algorithm-2 batch pass — bounded by ``max_batch`` edges or a
+``max_delay_ms`` window, whichever closes first.  Deletes and flushes are
+ordering barriers: they close the current window and are applied as their
+own operations, so the WAL replays exactly what happened.
+
+Commit protocol (per window, under the shared writer lock, off-loop)::
+
+    1. append the coalesced operation(s) to the WAL   (fsync if configured)
+    2. apply them to the engine through SpadeClient.apply
+    3. maybe cut a checkpoint (every checkpoint_interval accepted edges)
+
+then advance the snapshot service's version and resolve the waiters'
+futures.  An event is acknowledged over HTTP only after step 2, so every
+acknowledged event is both durable and applied — the invariant the
+kill-and-restart tests exercise.
+
+Backpressure is explicit: a full queue makes :meth:`IngestGateway.submit`
+return ``None`` and the HTTP layer answers ``429`` with ``Retry-After``
+instead of growing an unbounded buffer in front of a saturated engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.client import SpadeClient
+from repro.api.events import Delete, Event, Flush, InsertBatch
+from repro.errors import ReproError
+from repro.graph.delta import EdgeUpdate
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
+from repro.serve.snapshots import SnapshotService
+from repro.serve.wal import WriteAheadLog
+
+__all__ = ["IngestGateway", "Submission"]
+
+
+class Submission:
+    """One queued write request awaiting commit."""
+
+    __slots__ = ("kind", "updates", "edges", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        kind: str,
+        updates: Sequence,
+        edges: int,
+        future: "asyncio.Future[Dict[str, object]]",
+    ) -> None:
+        self.kind = kind  # "insert" | "delete" | "flush"
+        self.updates = updates
+        self.edges = edges
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class IngestGateway:
+    """Bounded queue + writer task turning submissions into committed ops."""
+
+    def __init__(
+        self,
+        client: SpadeClient,
+        service: SnapshotService,
+        lock: asyncio.Lock,
+        config: ServeConfig,
+        metrics: MetricsRegistry,
+        wal: Optional[WriteAheadLog] = None,
+        checkpoint: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self._client = client
+        self._service = service
+        self._lock = lock
+        self._config = config
+        self._wal = wal
+        self._checkpoint = checkpoint
+        self._queue: "asyncio.Queue[Submission]" = asyncio.Queue(config.queue_size)
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._seq = 0
+        self._edges_since_checkpoint = 0
+
+        self._m_accepted = metrics.counter(
+            "repro_ingest_events_accepted_total", "Edges accepted (acknowledged)"
+        )
+        self._m_rejected = metrics.counter(
+            "repro_ingest_events_rejected_total", "Edges rejected with 429 backpressure"
+        )
+        self._m_batches = metrics.counter(
+            "repro_ingest_batches_total", "Coalesced operations committed"
+        )
+        self._m_batch_size = metrics.histogram(
+            "repro_ingest_batch_size_edges", "Edges per coalesced operation", SIZE_BUCKETS
+        )
+        self._m_commit = metrics.histogram(
+            "repro_ingest_commit_seconds", "WAL append + engine apply per window"
+        )
+        self._m_fsync = metrics.histogram(
+            "repro_wal_append_seconds", "WAL append (incl. fsync) per operation"
+        )
+        self._m_latency = metrics.histogram(
+            "repro_ingest_ack_seconds", "Submission enqueue to acknowledgment"
+        )
+        self._m_depth = metrics.gauge(
+            "repro_ingest_queue_depth", "Submissions waiting in the ingest queue"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def seq(self) -> int:
+        """WAL sequence of the last committed operation."""
+        return self._seq
+
+    def start(self, initial_seq: int = 0) -> None:
+        """Start the writer task; ``initial_seq`` resumes a recovered WAL."""
+        self._seq = initial_seq
+        self._service.advance(initial_seq)
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain the queue, commit what is pending, stop the writer."""
+        if self._task is None:
+            return
+        await self._queue.join()
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    # ------------------------------------------------------------------ #
+    # Producer side (HTTP handlers)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, kind: str, updates: Sequence, edges: int
+    ) -> Optional["asyncio.Future[Dict[str, object]]"]:
+        """Enqueue one write request; ``None`` means full (answer 429)."""
+        future: "asyncio.Future[Dict[str, object]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        submission = Submission(kind, updates, edges, future)
+        try:
+            self._queue.put_nowait(submission)
+        except asyncio.QueueFull:
+            self._m_rejected.inc(max(1, edges))
+            return None
+        self._m_depth.set(self._queue.qsize())
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Writer task
+    # ------------------------------------------------------------------ #
+    async def _get_with_timeout(self, timeout: float) -> Optional[Submission]:
+        """``queue.get`` with a timeout that can never lose a submission.
+
+        ``asyncio.wait_for`` on Python <= 3.11 can discard the result of a
+        ``get()`` that completed just as the timeout cancelled it — the
+        submission would leave the queue but never join a window, hanging
+        its HTTP request forever.  ``asyncio.wait`` does not cancel on
+        timeout, so the getter either yields the item (even when the
+        cancel below loses the race) or provably dequeued nothing.
+        """
+        getter = asyncio.ensure_future(self._queue.get())
+        try:
+            done, _pending = await asyncio.wait({getter}, timeout=timeout)
+        except asyncio.CancelledError:
+            getter.cancel()
+            raise
+        if getter in done:
+            return getter.result()
+        getter.cancel()
+        try:
+            return await getter
+        except asyncio.CancelledError:
+            return None
+
+    async def _run(self) -> None:
+        max_delay = self._config.max_delay_ms / 1000.0
+        while True:
+            first = await self._queue.get()
+            window = [first]
+            edges = first.edges
+            # The coalescing window opens when the first submission was
+            # *enqueued*, not when the writer picked it up: work that
+            # queued behind the previous commit has already waited its
+            # share, so a saturated pipeline commits back-to-back with
+            # natural batching instead of sleeping max_delay per cycle.
+            deadline = first.enqueued_at + max_delay
+            # A delete/flush is an ordering barrier: it never coalesces
+            # with anything behind it.
+            while first.kind == "insert" and edges < self._config.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    nxt = await self._get_with_timeout(remaining)
+                    if nxt is None:
+                        break
+                window.append(nxt)
+                edges += nxt.edges
+                if nxt.kind != "insert":
+                    break
+            self._m_depth.set(self._queue.qsize())
+            try:
+                await self._commit_window(window)
+            finally:
+                for _ in window:
+                    self._queue.task_done()
+
+    def _coalesce(
+        self, window: List[Submission]
+    ) -> List[Tuple[Event, List[Submission]]]:
+        """Group consecutive insert submissions into InsertBatch operations."""
+        ops: List[Tuple[Event, List[Submission]]] = []
+        run: List[Submission] = []
+
+        def close_run() -> None:
+            if run:
+                updates: List[EdgeUpdate] = []
+                for submission in run:
+                    updates.extend(submission.updates)
+                ops.append((InsertBatch(tuple(updates)), list(run)))
+                run.clear()
+
+        for submission in window:
+            if submission.kind == "insert":
+                run.append(submission)
+            elif submission.kind == "delete":
+                close_run()
+                ops.append((Delete(tuple(submission.updates)), [submission]))
+            else:
+                close_run()
+                ops.append((Flush(), [submission]))
+        close_run()
+        return ops
+
+    async def _commit_window(self, window: List[Submission]) -> None:
+        ops = self._coalesce(window)
+        began = time.perf_counter()
+        try:
+            async with self._lock:
+                results = await asyncio.get_running_loop().run_in_executor(
+                    None, self._commit_sync, ops
+                )
+        except Exception as exc:  # engine/WAL failure: fail the waiters
+            # Ops earlier in the window may have committed before the
+            # failure advanced past them — publish their version so reads
+            # never stamp the new state with a stale number.
+            self._service.advance(self._seq)
+            for submission in window:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+            return
+        self._m_commit.observe(time.perf_counter() - began)
+        self._service.advance(self._seq)
+        now = time.perf_counter()
+        for (op, submissions), result in zip(ops, results):
+            for submission in submissions:
+                self._m_latency.observe(now - submission.enqueued_at)
+                if not submission.future.done():
+                    submission.future.set_result(dict(result))
+        self._m_accepted.inc(sum(s.edges for s in window))
+
+    def _commit_sync(
+        self, ops: List[Tuple[Event, List[Submission]]]
+    ) -> List[Dict[str, object]]:
+        """WAL-append + apply each operation (runs in a worker thread)."""
+        results: List[Dict[str, object]] = []
+        for op, _submissions in ops:
+            seq = self._seq + 1
+            if self._wal is not None:
+                wal_began = time.perf_counter()
+                seq, offset = self._wal.append_op(op)
+                self._m_fsync.observe(time.perf_counter() - wal_began)
+            else:
+                offset = 0
+            try:
+                report = self._client.apply([op])
+            except (ReproError, TypeError, ValueError) as exc:
+                # Deterministic engine rejection (invalid weight, a label
+                # the engine cannot digest...).  The record is already
+                # durable, but replaying it fails identically, so recovery
+                # skips it and the state machines stay in lockstep; the
+                # submitters get the error, later operations in the window
+                # still commit.
+                self._seq = seq
+                results.append({"wal_seq": seq, "version": seq, "error": str(exc)})
+                continue
+            self._seq = seq
+            self._m_batches.inc()
+            edges = report.edges_applied
+            self._m_batch_size.observe(max(1, edges))
+            results.append(
+                {
+                    "wal_seq": seq,
+                    "version": seq,
+                    "edges": edges,
+                    "density": report.density,
+                    "community_size": len(report.vertices),
+                }
+            )
+            if self._checkpoint is not None:
+                self._edges_since_checkpoint += edges
+                if self._edges_since_checkpoint >= self._config.checkpoint_interval:
+                    self._checkpoint(seq, offset)
+                    self._edges_since_checkpoint = 0
+        return results

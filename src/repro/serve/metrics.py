@@ -1,0 +1,192 @@
+"""Prometheus-text metrics for the serving layer (stdlib-only).
+
+A deliberately tiny subset of the Prometheus client model — counters,
+gauges and cumulative histograms rendered in the text exposition format —
+so that ``GET /metrics`` works against any Prometheus scraper without
+adding a dependency.  All mutation happens on the event loop thread (or
+under the writer lock), so the implementation carries no locking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: Default buckets for second-denominated latencies (500µs .. 5s).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default buckets for size-denominated observations (batch sizes etc.).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_fmt(self._value)}",
+        ]
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_fmt(self._value)}",
+        ]
+
+
+class Histogram:
+    """A cumulative histogram with fixed upper bounds."""
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, name: str, help: str, buckets: Sequence[float] = LATENCY_BUCKETS
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound estimate).
+
+        Good enough for health summaries; the bench computes exact
+        percentiles from raw samples instead.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        for index, bound in enumerate(self.buckets):
+            if self._counts[index] >= target:
+                return bound
+        return self.buckets[-1]
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, count in zip(self.buckets, self._counts):
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {count}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+        lines.append(f"{self.name}_sum {_fmt(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Name-ordered collection of metrics with one text renderer."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str) -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help, buckets if buckets is not None else LATENCY_BUCKETS)
+        )
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def render(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())  # type: ignore[attr-defined]
+        return "\n".join(lines) + "\n"

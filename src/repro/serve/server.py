@@ -1,0 +1,261 @@
+"""A minimal asyncio HTTP/1.1 server (stdlib-only, keep-alive, JSON).
+
+The serving layer needs exactly this much HTTP: parse a request line +
+headers + a ``Content-Length`` body, dispatch to an async handler, write a
+response, and keep the connection open for the next request.  Building it
+on ``asyncio.start_server`` keeps the whole subsystem dependency-free and
+single-loop (``http.server`` is thread-per-connection and would break the
+single-writer lock discipline).
+
+Out of scope by design: TLS, chunked transfer encoding (``411``/``501``),
+HTTP/2, and multipart bodies.  Limits are enforced up front — header block
+``<= 32 KiB``, body ``<= max_body_bytes`` (``413``) — so a misbehaving
+client cannot balloon the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["Request", "Response", "HttpError", "HttpServer", "json_response"]
+
+#: Upper bound on the request line + header block.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body", "http_version")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+        http_version: str,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        self.http_version = http_version
+
+    def json(self) -> object:
+        """Parse the body as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+class Response:
+    """One response: a status, a payload and optional extra headers."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+
+
+def json_response(
+    status: int, payload: object, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    """Build an ``application/json`` response from a JSON-able payload."""
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    return Response(status, body, "application/json", headers)
+
+
+class HttpError(Exception):
+    """Raise inside a handler to answer with a specific status."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on a clean EOF."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "header block too large")
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+    try:
+        text = header_block.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, http_version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked transfer encoding is not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length")
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, "Content-Length required")
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return Request(
+        method.upper(), unquote(parts.path), query, headers, body, http_version
+    )
+
+
+def _render(response: Response, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + response.body
+
+
+class HttpServer:
+    """``asyncio.start_server`` wrapper dispatching to one async handler."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body: int = 8 * 1024 * 1024,
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._requested_port = port
+        self._max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: int = port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._host,
+            self._requested_port,
+            limit=MAX_HEADER_BYTES + 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self._max_body)
+                except HttpError as exc:
+                    writer.write(
+                        _render(
+                            json_response(exc.status, {"error": exc.message}, exc.headers),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                    and request.http_version != "HTTP/1.0"
+                )
+                try:
+                    response = await self._handler(request)
+                except HttpError as exc:
+                    response = json_response(
+                        exc.status, {"error": exc.message}, exc.headers
+                    )
+                except Exception as exc:  # noqa: BLE001 - boundary of the server
+                    response = json_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                writer.write(_render(response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # No wait_closed here: the handler task gets cancelled by
+            # server shutdown while parked on the next request, and
+            # awaiting inside that cancellation re-raises noisily.
+            # close() schedules the transport teardown on the loop.
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass

@@ -1,0 +1,281 @@
+"""End-to-end durability smoke: boot, ingest, ``kill -9``, recover, compare.
+
+The CI gate for the serving subsystem (``python -m repro.serve.smoke``):
+
+1. boot ``python -m repro.serve`` as a real subprocess on the fraud
+   workload directory (WAL + checkpoints enabled, OS-assigned port);
+2. fire a mix of bulk and single-edge ``POST /v1/edges`` plus a mid-stream
+   ``GET /v1/detect``;
+3. ``SIGKILL`` the process mid-stream — no shutdown hooks, no flush;
+4. restart it from the same WAL directory (checkpoint + WAL-suffix
+   recovery) and keep ingesting to prove liveness;
+5. replay the WAL offline through a fresh in-process
+   :class:`~repro.api.SpadeClient` and fail (exit 1) unless the restarted
+   server's ``detect`` and first ``communities`` page are **identical**
+   to the offline replay.
+
+Every acknowledged event is by construction in the WAL, so equality with
+the offline replay of the WAL is the durability statement in ISSUE 5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.client import SpadeClient
+from repro.api.config import EngineConfig
+from repro.serve.app import RUNINFO_FILENAME
+from repro.serve.wal import WriteAheadLog, read_ops
+from repro.workloads.fraud import inject_standard_patterns
+
+__all__ = ["main", "run_smoke"]
+
+
+def _wait_for_server(wal_dir: Path, proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    """Wait for the runinfo file of the *current* process; return the port."""
+    runinfo_path = wal_dir / RUNINFO_FILENAME
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with {proc.returncode}; stderr:\n"
+                f"{proc.stderr.read().decode() if proc.stderr else ''}"
+            )
+        if runinfo_path.exists():
+            try:
+                runinfo = json.loads(runinfo_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                runinfo = None
+            if runinfo and runinfo.get("pid") == proc.pid:
+                port = int(runinfo["port"])
+                status, _ = _request(port, "GET", "/healthz")
+                if status == 200:
+                    return port
+        time.sleep(0.05)
+    raise RuntimeError("server did not become healthy in time")
+
+
+def _request(
+    port: int, method: str, path: str, payload: Optional[object] = None
+) -> Tuple[int, Dict]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else {}
+    finally:
+        connection.close()
+
+
+def _spawn(config_path: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--config", str(config_path)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def _fraud_edges(num: int, seed: int = 11) -> List[List[object]]:
+    """Dyadic-weighted transaction rows: fraud bursts over background noise.
+
+    Dyadic weights (multiples of 1/64) keep float accumulation
+    order-independent, so the offline comparison is strict equality
+    rather than a tolerance.
+    """
+    import random
+
+    scenario = inject_standard_patterns(seed, 0.0, 1000.0, instances_per_pattern=1)
+    fraud = sorted(scenario.edges, key=lambda e: e.timestamp)
+    rows: List[List[object]] = [
+        [str(e.src), str(e.dst), max(1, round(float(e.weight) * 64)) / 64.0]
+        for e in fraud
+    ]
+    rng = random.Random(seed)
+    while len(rows) < num:
+        src, dst = rng.randrange(150), rng.randrange(150)
+        if src == dst:
+            continue
+        rows.append([f"bg{src}", f"bg{dst}", rng.randint(1, 128) / 64.0])
+    # Interleave: background mixed through the fraud bursts, like a stream.
+    rng.shuffle(rows)
+    return rows[:num]
+
+
+def run_smoke(events: int = 600, checkpoint_interval: int = 150, verbose: bool = True) -> int:
+    """Run the kill-and-restart divergence check; return a process exit code."""
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"[smoke] {message}", flush=True)
+
+    rows = _fraud_edges(events)
+    mid = len(rows) // 2
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        wal_dir = Path(tmp) / "wal"
+        config = {
+            "semantics": "DW",
+            "backend": "array",
+            "serve": {
+                "port": 0,
+                "wal_dir": str(wal_dir),
+                "fsync": True,
+                "max_delay_ms": 2.0,
+                "max_batch": 64,
+                "checkpoint_interval": checkpoint_interval,
+            },
+        }
+        config_path = Path(tmp) / "engine.json"
+        config_path.write_text(json.dumps(config), encoding="utf-8")
+
+        # Phase 1: boot and ingest the first half (bulk + single mix).
+        proc = _spawn(config_path)
+        try:
+            port = _wait_for_server(wal_dir, proc)
+            say(f"phase 1 up on :{port}; ingesting {mid} events")
+            index = 0
+            while index < mid:
+                if index % 97 == 0:  # sprinkle single-edge posts into the bulk flow
+                    status, _ = _request(port, "POST", "/v1/edges", {
+                        "src": rows[index][0], "dst": rows[index][1], "weight": rows[index][2],
+                    })
+                    assert status == 200, f"single-edge post failed: {status}"
+                    index += 1
+                else:
+                    chunk = rows[index : index + 25]
+                    status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
+                    assert status == 200, f"bulk post failed: {status}"
+                    index += len(chunk)
+            status, mid_detect = _request(port, "GET", "/v1/detect")
+            assert status == 200
+            say(
+                f"mid-stream detect at version {mid_detect['version']}: "
+                f"|S|={len(mid_detect['community'])} g={mid_detect['density']:.4f}"
+            )
+            # Kill without ceremony, mid-stream.
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+            say("killed -9")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # Phase 2: restart from WAL + checkpoint, keep ingesting.
+        proc = _spawn(config_path)
+        try:
+            port = _wait_for_server(wal_dir, proc)
+            status, health = _request(port, "GET", "/healthz")
+            assert status == 200
+            say(
+                f"phase 2 recovered to version {health['version']} "
+                f"({health['recovered_ops']} WAL ops replayed); ingesting the rest"
+            )
+            index = mid
+            while index < len(rows):
+                chunk = rows[index : index + 25]
+                status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
+                assert status == 200, f"post-recovery bulk post failed: {status}"
+                index += len(chunk)
+            status, final_detect = _request(port, "GET", "/v1/detect")
+            assert status == 200
+            status, final_communities = _request(port, "GET", "/v1/communities?limit=5")
+            assert status == 200
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+        # Offline replay of the WAL — the acknowledged history and then some
+        # (anything WAL-ed but unacked at the kill is still a valid prefix
+        # of what the recovered server applied).
+        ops, _offset = read_ops(WriteAheadLog.path_in(wal_dir))
+        offline = SpadeClient(EngineConfig(semantics="DW", backend="array"))
+        offline.load([])
+        for _seq, op in ops:
+            offline.apply([op])
+        offline_report = offline.detect()
+        offline_community = sorted(map(str, offline_report.vertices))
+        offline_instances = [
+            {
+                "rank": instance.rank,
+                "density": instance.density,
+                "size": len(instance.vertices),
+                "vertices": sorted(map(str, instance.vertices)),
+            }
+            for instance in offline.communities(max_instances=5)
+        ]
+
+        failures: List[str] = []
+        if final_detect["version"] != ops[-1][0]:
+            failures.append(
+                f"version {final_detect['version']} != last WAL seq {ops[-1][0]}"
+            )
+        if final_detect["community"] != offline_community:
+            failures.append(
+                f"community diverged:\n  served : {final_detect['community']}\n"
+                f"  offline: {offline_community}"
+            )
+        if final_detect["density"] != offline_report.density:
+            failures.append(
+                f"density diverged: {final_detect['density']} != {offline_report.density}"
+            )
+        if final_detect["peel_index"] != offline_report.peel_index:
+            failures.append(
+                f"peel_index diverged: {final_detect['peel_index']} != {offline_report.peel_index}"
+            )
+        if final_communities["communities"] != offline_instances:
+            failures.append("communities page diverged from offline enumeration")
+
+        if failures:
+            for failure in failures:
+                print(f"[smoke] FAIL: {failure}", file=sys.stderr, flush=True)
+            return 1
+        say(
+            f"OK: recovery is bit-identical to the offline replay of "
+            f"{len(ops)} WAL ops ({sum(1 for _, o in ops)} operations, "
+            f"|S|={len(offline_community)}, g={offline_report.density:.6f})"
+        )
+        return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke",
+        description="Kill -9 / recovery divergence check for repro.serve.",
+    )
+    parser.add_argument("--events", type=int, default=600)
+    parser.add_argument("--checkpoint-interval", type=int, default=150)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    return run_smoke(
+        events=args.events,
+        checkpoint_interval=args.checkpoint_interval,
+        verbose=not args.quiet,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Write-ahead log: every accepted event is durable before it is acked.
+
+The WAL is a single append-only JSON-lines file (``wal.jsonl`` inside the
+configured ``wal_dir``) built on :class:`repro.storage.jsonl.JsonlWriter`.
+Each record carries a monotonically increasing sequence number and one
+engine *operation* — exactly the event the ingest gateway applied, i.e.
+the **coalesced** :class:`~repro.api.events.InsertBatch` rather than the
+individual HTTP posts that fed it.  Logging the applied operation (not the
+wire requests) is what makes recovery bit-exact: replaying the WAL drives
+the engine through the identical sequence of maintenance passes.
+
+Record shapes (one JSON object per line)::
+
+    {"seq": 12, "kind": "batch",  "edges": [[src, dst, w], ...]}
+    {"seq": 13, "kind": "delete", "edges": [[src, dst], ...]}
+    {"seq": 14, "kind": "flush"}
+
+Insert edges optionally carry vertex priors as five-element rows
+``[src, dst, w, src_prior, dst_prior]`` (nulls allowed).  Vertex labels
+travel as JSON scalars — the serving layer's label domain is whatever
+arrived over HTTP, which is JSON by construction.
+
+Recovery reads the suffix past the latest checkpoint with
+:func:`repro.storage.jsonl.tail`, which tolerates the torn final line a
+``kill -9`` mid-append leaves behind; a torn record was by definition
+never acknowledged, so dropping it cannot lose an acked event.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.events import Delete, Event, Flush, Insert, InsertBatch
+from repro.errors import StorageError
+from repro.graph.delta import EdgeUpdate
+from repro.storage.jsonl import JsonlWriter, tail
+
+__all__ = ["WriteAheadLog", "encode_op", "decode_record", "read_ops"]
+
+#: File name of the log inside ``wal_dir``.
+WAL_FILENAME = "wal.jsonl"
+
+PathLike = Union[str, Path]
+
+
+def _encode_update(update: EdgeUpdate) -> List[object]:
+    row: List[object] = [update.src, update.dst, update.weight]
+    if update.src_weight is not None or update.dst_weight is not None:
+        row.extend([update.src_weight, update.dst_weight])
+    return row
+
+
+def encode_op(op: Event) -> Dict[str, object]:
+    """Encode an engine operation as a WAL record payload (no seq)."""
+    if isinstance(op, InsertBatch):
+        return {"kind": "batch", "edges": [_encode_update(u) for u in op.updates]}
+    if isinstance(op, Insert):
+        return {"kind": "batch", "edges": [_encode_update(op.as_update())]}
+    if isinstance(op, Delete):
+        return {"kind": "delete", "edges": [[src, dst] for src, dst in op.edges]}
+    if isinstance(op, Flush):
+        return {"kind": "flush"}
+    raise StorageError(f"cannot encode WAL operation {op!r}")
+
+
+def decode_record(record: Dict[str, object]) -> Event:
+    """Decode one WAL record back into the engine operation it logged."""
+    kind = record.get("kind")
+    if kind == "batch":
+        updates = []
+        for row in record["edges"]:  # type: ignore[index]
+            if len(row) == 5:
+                src, dst, weight, sp, dp = row
+                updates.append(
+                    EdgeUpdate(src, dst, float(weight), src_weight=sp, dst_weight=dp)
+                )
+            else:
+                src, dst, weight = row
+                updates.append(EdgeUpdate(src, dst, float(weight)))
+        return InsertBatch(tuple(updates))
+    if kind == "delete":
+        return Delete(tuple((src, dst) for src, dst in record["edges"]))  # type: ignore[misc]
+    if kind == "flush":
+        return Flush()
+    raise StorageError(f"unknown WAL record kind {kind!r}")
+
+
+def read_ops(path: PathLike, offset: int = 0) -> Tuple[List[Tuple[int, Event]], int]:
+    """Read ``(seq, op)`` pairs from byte ``offset``; return the resume offset.
+
+    Sequence numbers must be strictly increasing across the read records —
+    anything else means the log was tampered with or mis-assembled, and is
+    reported as :class:`~repro.errors.StorageError` rather than replayed.
+    """
+    records, next_offset = tail(path, offset)
+    ops: List[Tuple[int, Event]] = []
+    last_seq = -1
+    for record in records:
+        seq = int(record["seq"])  # type: ignore[index]
+        if seq <= last_seq:
+            raise StorageError(
+                f"{path}: WAL sequence regressed ({seq} after {last_seq})"
+            )
+        last_seq = seq
+        ops.append((seq, decode_record(record)))
+    return ops, next_offset
+
+
+class WriteAheadLog:
+    """Appender for the serving layer's durability log.
+
+    ``next_seq`` starts where the on-disk log ends (recovery hands the
+    last replayed sequence in), so sequence numbers stay unique across
+    restarts.  ``truncate_at`` is recovery's resume offset: any torn
+    bytes past it (a ``kill -9`` mid-append) are discarded before the
+    first new record, so appends never fuse with a crash fragment.
+    """
+
+    def __init__(
+        self,
+        wal_dir: PathLike,
+        fsync: bool = True,
+        next_seq: int = 1,
+        truncate_at: Optional[int] = None,
+    ) -> None:
+        self._dir = Path(wal_dir)
+        self._writer = JsonlWriter(
+            self._dir / WAL_FILENAME, fsync=fsync, truncate_at=truncate_at
+        )
+        self._next_seq = int(next_seq)
+
+    @classmethod
+    def path_in(cls, wal_dir: PathLike) -> Path:
+        """The log path a given ``wal_dir`` implies."""
+        return Path(wal_dir) / WAL_FILENAME
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def offset(self) -> int:
+        """Byte offset just past the last appended record."""
+        return self._writer.offset
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next append will use."""
+        return self._next_seq
+
+    def append_op(self, op: Event) -> Tuple[int, int]:
+        """Durably append one operation; return ``(seq, offset_after)``."""
+        record = encode_op(op)
+        seq = self._next_seq
+        record_with_seq: Dict[str, object] = {"seq": seq}
+        record_with_seq.update(record)
+        offset = self._writer.append(record_with_seq)
+        self._next_seq = seq + 1
+        return seq, offset
+
+    def sync(self) -> None:
+        """Force the log to stable storage (used at graceful shutdown)."""
+        self._writer.sync()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

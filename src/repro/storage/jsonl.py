@@ -4,18 +4,34 @@ Streams are stored one transaction per line so that very large streams can
 be written and replayed without loading everything in memory twice; the
 record helpers are used by the benchmark harness to persist experiment
 results next to the generated tables.
+
+For long-running writers (the serving layer's write-ahead log), the batch
+helpers are complemented by a streaming pair: :class:`JsonlWriter` appends
+records one at a time to an open handle (optionally ``fsync``-ing each
+append for durability) and reports the byte offset after every record,
+while :func:`tail` reads the complete records at or after a byte offset —
+tolerating a torn final line, which is exactly what a crash mid-append
+leaves behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import StorageError
 from repro.streaming.stream import TimestampedEdge, UpdateStream
 
-__all__ = ["write_stream", "read_stream", "write_records", "read_records"]
+__all__ = [
+    "write_stream",
+    "read_stream",
+    "write_records",
+    "read_records",
+    "JsonlWriter",
+    "tail",
+]
 
 PathLike = Union[str, Path]
 
@@ -89,3 +105,136 @@ def read_records(path: PathLike) -> Iterator[Dict]:
             line = line.strip()
             if line:
                 yield json.loads(line)
+
+
+class JsonlWriter:
+    """Append-mode streaming JSON-lines writer.
+
+    Unlike :func:`write_records` (which rewrites the whole file from an
+    iterable), a :class:`JsonlWriter` keeps one handle open in append mode
+    and emits records one at a time — the shape a write-ahead log needs.
+
+    Parameters
+    ----------
+    path:
+        File to append to (parent directories are created; the file is
+        created if missing, never truncated).
+    fsync:
+        When True, every :meth:`append` flushes *and* ``fsync``\\ s the
+        file, so a record is durable on disk before the call returns.
+        When False the record is flushed to the OS but not forced to
+        stable storage (faster; survives process crashes, not power loss).
+    truncate_at:
+        When given, the file is truncated to this byte offset before the
+        first append.  A crash mid-append leaves a torn final line that
+        :func:`tail` excludes from its resume offset; a writer reopening
+        the file must discard those bytes, or its next record would fuse
+        with the fragment into one unparseable line.
+
+    The writer is a context manager; :meth:`append` returns the byte
+    offset just past the appended record, which — together with
+    :func:`tail` — lets readers resume from a durable position without
+    re-scanning the file.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync: bool = False,
+        truncate_at: Optional[int] = None,
+    ) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        self._handle = self._path.open("ab")
+        self._offset = self._handle.seek(0, os.SEEK_END)
+        if truncate_at is not None and truncate_at < self._offset:
+            self._handle.truncate(truncate_at)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._offset = truncate_at
+
+    @property
+    def path(self) -> Path:
+        """The file being appended to."""
+        return self._path
+
+    @property
+    def offset(self) -> int:
+        """Byte offset just past the last complete record."""
+        return self._offset
+
+    def append(self, record: Mapping) -> int:
+        """Append one record; return the byte offset just past it."""
+        if self._handle.closed:
+            raise StorageError(f"writer for {self._path} is closed")
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        self._handle.write(line.encode("utf-8"))
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._offset = self._handle.tell()
+        return self._offset
+
+    def sync(self) -> None:
+        """Force buffered records to stable storage regardless of ``fsync``."""
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and close the handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def tail(path: PathLike, offset: int = 0) -> Tuple[List[Dict], int]:
+    """Read the complete records at or after byte ``offset``.
+
+    Returns ``(records, next_offset)`` where ``next_offset`` is the byte
+    offset just past the last *complete* record — the resume point for the
+    next call.  A torn final line (no trailing newline, or a trailing
+    fragment that is not valid JSON — what a crash mid-append leaves) is
+    silently ignored and excluded from ``next_offset``; invalid JSON
+    *before* the final line raises :class:`~repro.errors.StorageError`,
+    because that is corruption rather than a torn write.
+
+    A missing file reads as empty (``([], offset if offset == 0 else
+    error)``) so that first-boot and recovery share one code path.
+    """
+    path = Path(path)
+    if not path.exists():
+        if offset:
+            raise StorageError(f"records file not found: {path}")
+        return [], 0
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        data = handle.read()
+    records: List[Dict] = []
+    consumed = 0
+    lines = data.split(b"\n")
+    # The final element is either b"" (data ended on a newline) or a
+    # partial line with no terminator; both are excluded from the scan.
+    for index, raw in enumerate(lines[:-1]):
+        stripped = raw.strip()
+        if stripped:
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 2 and not lines[-1]:
+                    # Torn *terminated* final line: a crash between the
+                    # payload write and the flush can persist a truncated
+                    # line that still won its newline from a later append.
+                    break
+                raise StorageError(
+                    f"{path}: invalid JSON record at byte {offset + consumed}"
+                ) from exc
+        consumed += len(raw) + 1
+    return records, offset + consumed

@@ -134,6 +134,50 @@ class TestApplyVsLegacyDifferential:
         assert legacy.pending_edges() == 0
 
 
+class TestSingleBareEvent:
+    """``apply`` takes a single bare event, not only iterables of them.
+
+    The serving layer's single-edge endpoint leans on this ergonomics
+    (``client.apply(Insert(...))``), so it is pinned here per event kind.
+    """
+
+    def test_apply_single_insert(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        report = client.apply(Insert("u1", "u6", 3.0))
+        assert report.events == 1
+        assert report.edges_applied == 1
+        assert report.outcomes[0].kind == "insert"
+        assert client.graph.has_edge("u1", "u6")
+
+    def test_apply_single_matches_listed(self):
+        bare = SpadeClient(EngineConfig(semantics="DW"))
+        listed = SpadeClient(EngineConfig(semantics="DW"))
+        bare.load(INITIAL)
+        listed.load(INITIAL)
+        report_bare = bare.apply(Insert("u2", "u5", 2.5))
+        report_listed = listed.apply([Insert("u2", "u5", 2.5)])
+        assert report_bare.vertices == report_listed.vertices
+        assert report_bare.density == report_listed.density
+
+    def test_apply_single_batch_delete_flush(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        batch_report = client.apply(InsertBatch.of([("a", "b", 1.0), ("b", "c", 2.0)]))
+        assert batch_report.outcomes[0].kind == "insert_batch"
+        delete_report = client.apply(Delete.of([("a", "b")]))
+        assert delete_report.outcomes[0].kind == "delete"
+        flush_report = client.apply(Flush())
+        assert flush_report.outcomes[0].kind == "flush"
+
+    def test_apply_single_bare_tuple(self):
+        client = SpadeClient(EngineConfig(semantics="DW"))
+        client.load(INITIAL)
+        report = client.apply(("u4", "u1", 1.5))
+        assert report.edges_applied == 1
+        assert client.graph.has_edge("u4", "u1")
+
+
 class TestClientLifecycle:
     def test_load_edges_returns_full_report(self):
         client = SpadeClient(EngineConfig(semantics="DW"))

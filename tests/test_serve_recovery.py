@@ -1,0 +1,340 @@
+"""Durability tests: pool-faithful checkpoints, WAL replay, kill -9.
+
+The recovery contract (ISSUE 5): after a crash, checkpoint + WAL-suffix
+replay yields an engine whose ``detect()`` is bit-identical to an offline
+:class:`~repro.api.SpadeClient` that applied every acknowledged event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.api.client import SpadeClient
+from repro.api.config import EngineConfig
+from repro.api.events import Delete, InsertBatch
+from repro.graph.backend import create_graph
+from repro.graph.delta import EdgeUpdate
+from repro.serve.app import ServeApp
+from repro.serve.config import ServeConfig
+from repro.serve.recovery import (
+    CheckpointStore,
+    edges_in_insertion_order,
+    graph_from_snapshot,
+    recover,
+)
+from repro.serve.wal import WriteAheadLog, read_ops
+
+SNAPSHOT_FIELDS = (
+    "order",
+    "member",
+    "vertex_weights",
+    "out_offsets",
+    "out_neighbors",
+    "out_weights",
+    "in_offsets",
+    "in_neighbors",
+    "in_weights",
+)
+
+
+@pytest.fixture(autouse=True)
+def _single_backend_leg(graph_backend):
+    if graph_backend != "array":
+        pytest.skip("serve pins backend='array'; one leg is enough")
+
+
+def random_dyadic_edges(seed: int, count: int, vertices: int = 40):
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < count:
+        src, dst = rng.randrange(vertices), rng.randrange(vertices)
+        if src != dst:
+            edges.append((f"v{src}", f"v{dst}", rng.randint(1, 128) / 32.0))
+    return edges
+
+
+class TestGraphReconstruction:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_rebuild_is_pool_bit_identical(self, seed):
+        graph = create_graph("array")
+        for src, dst, weight in random_dyadic_edges(seed, 500):
+            graph.add_edge(src, dst, weight)
+        snapshot = graph.freeze()
+        rebuilt = graph_from_snapshot(snapshot, backend="array")
+        resnap = rebuilt.freeze()
+        for field in SNAPSHOT_FIELDS:
+            original = getattr(snapshot, field)
+            copy = getattr(resnap, field)
+            assert original.shape == copy.shape, field
+            assert np.array_equal(original, copy), field
+        assert resnap.labels == snapshot.labels
+
+    def test_merge_covers_every_edge(self):
+        graph = create_graph("array")
+        edges = random_dyadic_edges(3, 300)
+        for src, dst, weight in edges:
+            graph.add_edge(src, dst, weight)
+        snapshot = graph.freeze()
+        merged = list(edges_in_insertion_order(snapshot))
+        assert len(merged) == snapshot.num_edges
+        assert len({(src, dst) for src, dst, _ in merged}) == len(merged)
+
+
+class TestCheckpointStore:
+    def test_save_latest_prune(self, tmp_path):
+        graph = create_graph("array")
+        for src, dst, weight in random_dyadic_edges(5, 60):
+            graph.add_edge(src, dst, weight)
+        store = CheckpointStore(tmp_path, keep=2)
+        for seq in (3, 6, 9):
+            store.save(graph.freeze(), wal_seq=seq, wal_offset=seq * 100)
+        latest = store.latest()
+        assert latest is not None
+        snapshot, meta = latest
+        assert meta["wal_seq"] == 9
+        assert meta["wal_offset"] == 900
+        assert snapshot.num_edges == graph.freeze().num_edges
+        # Only `keep` checkpoints remain on disk.
+        assert len(list(tmp_path.glob("checkpoint-*.npz"))) == 2
+
+    def test_payload_without_sidecar_ignored(self, tmp_path):
+        graph = create_graph("array")
+        graph.add_edge("a", "b", 1.0)
+        store = CheckpointStore(tmp_path)
+        store.save(graph.freeze(), wal_seq=2, wal_offset=10)
+        # A stray payload with a higher seq but no sidecar (crash between
+        # the two writes) must not win.
+        (tmp_path / "checkpoint-000000000099.npz").write_bytes(b"junk")
+        latest = store.latest()
+        assert latest is not None
+        assert latest[1]["wal_seq"] == 2
+
+
+class TestRecoverInProcess:
+    def test_checkpoint_plus_wal_suffix_equals_offline(self, tmp_path):
+        config = EngineConfig(
+            semantics="DW",
+            backend="array",
+            serve=ServeConfig(port=0, wal_dir=str(tmp_path), fsync=False),
+        )
+        edges = random_dyadic_edges(11, 90)
+        ops = [
+            InsertBatch(tuple(EdgeUpdate(s, d, w) for s, d, w in edges[i : i + 10]))
+            for i in range(0, len(edges), 10)
+        ]
+        # Simulate a serving run: apply ops, checkpoint mid-way, WAL all.
+        live = SpadeClient(config)
+        live.load([])
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        store = CheckpointStore(tmp_path)
+        store.save(live.snapshot(), wal_seq=0, wal_offset=0)  # checkpoint zero
+        checkpoint_at = 5
+        for index, op in enumerate(ops, start=1):
+            seq, offset = wal.append_op(op)
+            live.apply([op])
+            assert seq == index
+            if index == checkpoint_at:
+                store.save(live.snapshot(), wal_seq=seq, wal_offset=offset)
+        wal.close()
+
+        recovered = recover(config)
+        assert recovered.from_checkpoint
+        # Only the suffix past the mid-way checkpoint was replayed.
+        assert recovered.replayed_ops == len(ops) - checkpoint_at
+        assert recovered.wal_seq == len(ops)
+
+        live_report = live.detect()
+        recovered_report = recovered.client.detect()
+        assert recovered_report.vertices == live_report.vertices
+        assert recovered_report.density == live_report.density
+        assert recovered_report.peel_index == live_report.peel_index
+
+        # And equals a from-scratch offline replay of the full WAL.
+        offline = SpadeClient(EngineConfig(semantics="DW", backend="array"))
+        offline.load([])
+        for _seq, op in read_ops(WriteAheadLog.path_in(tmp_path))[0]:
+            offline.apply([op])
+        offline_report = offline.detect()
+        assert recovered_report.vertices == offline_report.vertices
+        assert recovered_report.density == offline_report.density
+
+    def test_recovery_with_deletes_replays_cleanly(self, tmp_path):
+        config = EngineConfig(
+            semantics="DW",
+            backend="array",
+            serve=ServeConfig(port=0, wal_dir=str(tmp_path), fsync=False),
+        )
+        edges = random_dyadic_edges(13, 40)
+        live = SpadeClient(config)
+        live.load([])
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        store = CheckpointStore(tmp_path)
+        store.save(live.snapshot(), wal_seq=0, wal_offset=0)
+        ops = [
+            InsertBatch(tuple(EdgeUpdate(s, d, w) for s, d, w in edges[:20])),
+            Delete(tuple({(s, d) for s, d, _ in edges[:5]})),
+            InsertBatch(tuple(EdgeUpdate(s, d, w) for s, d, w in edges[20:])),
+        ]
+        for op in ops:
+            wal.append_op(op)
+            live.apply([op])
+        wal.close()
+        recovered = recover(config)
+        assert recovered.replayed_ops == 3
+        live_report = live.detect()
+        recovered_report = recovered.client.detect()
+        assert recovered_report.vertices == live_report.vertices
+        assert recovered_report.density == pytest.approx(live_report.density, abs=0.0)
+
+    def test_restarted_app_resumes_wal_sequence(self, tmp_path):
+        """A ServeApp restart continues seq numbering past the recovery."""
+
+        config = EngineConfig(
+            semantics="DW",
+            backend="array",
+            serve=ServeConfig(
+                port=0, wal_dir=str(tmp_path / "wal"), fsync=False, max_delay_ms=1.0
+            ),
+        )
+
+        async def run_once(rows):
+            app = ServeApp(config)
+            await app.start()
+            try:
+                future = app.gateway.submit(
+                    "insert", [EdgeUpdate(s, d, w) for s, d, w in rows], len(rows)
+                )
+                assert future is not None
+                return (await future), app.recovered_ops
+            finally:
+                await app.stop()
+
+        result1, recovered1 = asyncio.run(run_once(random_dyadic_edges(1, 8)))
+        result2, recovered2 = asyncio.run(run_once(random_dyadic_edges(2, 8)))
+        assert recovered1 == 0
+        assert recovered2 == 1  # the first run's single op was replayed
+        assert result1["wal_seq"] == 1
+        assert result2["wal_seq"] == 2
+
+
+class TestTornTail:
+    def test_restart_truncates_torn_tail_before_new_appends(self, tmp_path):
+        """A kill -9 mid-append must not fuse the next record with the tear.
+
+        Without truncation the restarted server appends past the torn
+        fragment, producing one unparseable line that either drops an
+        acknowledged record or makes every later restart fail.
+        """
+        config = EngineConfig(
+            semantics="DW",
+            backend="array",
+            serve=ServeConfig(
+                port=0, wal_dir=str(tmp_path / "wal"), fsync=False, max_delay_ms=1.0
+            ),
+        )
+
+        async def run_once(rows):
+            app = ServeApp(config)
+            await app.start()
+            try:
+                future = app.gateway.submit(
+                    "insert", [EdgeUpdate(s, d, w) for s, d, w in rows], len(rows)
+                )
+                assert future is not None
+                return await future
+            finally:
+                await app.stop()
+
+        asyncio.run(run_once(random_dyadic_edges(21, 6)))
+        wal_path = WriteAheadLog.path_in(tmp_path / "wal")
+        with wal_path.open("ab") as handle:
+            handle.write(b'{"seq": 2, "kind": "ba')  # the kill -9 fragment
+
+        ack = asyncio.run(run_once(random_dyadic_edges(22, 6)))
+        assert ack["wal_seq"] == 2  # restart resumed numbering past op 1
+
+        # Every record in the log parses, and a third recovery sees both.
+        ops, _ = read_ops(wal_path)
+        assert [seq for seq, _ in ops] == [1, 2]
+        recovered = recover(config)
+        assert recovered.wal_seq == 2
+        assert recovered.replayed_ops == 2  # full suffix past checkpoint zero
+
+
+class TestPoisonedOperations:
+    """A durably-logged op the engine rejects must not crash-loop recovery."""
+
+    def test_rejected_op_reports_error_and_recovery_survives(self, tmp_path):
+        config = EngineConfig(
+            semantics="DW",
+            backend="array",
+            serve=ServeConfig(
+                port=0, wal_dir=str(tmp_path / "wal"), fsync=False, max_delay_ms=1.0
+            ),
+        )
+
+        async def first_run():
+            app = ServeApp(config)
+            await app.start()
+            try:
+                good = app.gateway.submit(
+                    "insert", [EdgeUpdate("a", "b", 2.0), EdgeUpdate("b", "c", 1.0)], 2
+                )
+                assert good is not None
+                await good
+                # A self loop is rejected at HTTP parse time, but the
+                # gateway itself must survive one arriving anyway (direct
+                # embedding use, or a future validation gap): the record
+                # is durably logged, the engine rejects it, the submitter
+                # learns, and recovery skips it identically.
+                poisoned = app.gateway.submit(
+                    "insert", [EdgeUpdate("loop", "loop", 1.0)], 1
+                )
+                assert poisoned is not None
+                result = await poisoned
+                assert "error" in result  # engine rejected, record durable
+                after = app.gateway.submit("insert", [EdgeUpdate("c", "a", 3.0)], 1)
+                assert after is not None
+                ack = await after
+                assert "error" not in ack  # later ops still commit
+                return await app.service.detect()
+            finally:
+                await app.stop()
+
+        live_detect = asyncio.run(first_run())
+        # The WAL now contains the poisoned record; recovery must replay
+        # past it and land on the identical state.
+        recovered = recover(config)
+        assert recovered.wal_seq == 3
+        report = recovered.client.detect()
+        assert sorted(map(str, report.vertices)) == live_detect["community"]
+        assert report.density == live_detect["density"]
+
+    def test_http_self_loop_rejected_before_wal(self, tmp_path):
+        from tests.test_serve import drive, serve_config
+
+        app = ServeApp(serve_config(tmp_path))
+        results = drive(
+            app,
+            [
+                ("POST", "/v1/edges", {"src": "x", "dst": "x", "weight": 1.0}),
+                ("GET", "/healthz", None),
+            ],
+        )
+        assert results[0][0] == 400
+        assert "self loops" in results[0][1]["error"]
+        # Nothing reached the WAL: the engine version never advanced.
+        assert results[1][1]["version"] == 0
+
+
+class TestKillMinusNine:
+    def test_kill_and_restart_matches_offline_replay(self):
+        """The full subprocess smoke: boot, ingest, SIGKILL, recover, diff."""
+        from repro.serve.smoke import run_smoke
+
+        assert run_smoke(events=220, checkpoint_interval=60, verbose=False) == 0

@@ -7,7 +7,14 @@ import pytest
 from repro.errors import StorageError
 from repro.graph.graph import DynamicGraph
 from repro.storage.edgelist import read_edgelist, write_edgelist
-from repro.storage.jsonl import read_records, read_stream, write_records, write_stream
+from repro.storage.jsonl import (
+    JsonlWriter,
+    read_records,
+    read_stream,
+    tail,
+    write_records,
+    write_stream,
+)
 from repro.storage.store import SnapshotStore
 from repro.streaming.stream import TimestampedEdge, UpdateStream
 
@@ -119,3 +126,98 @@ class TestSnapshotStore:
         root = tmp_path / "store"
         SnapshotStore(root).save_result("persisted", {"x": 1})
         assert SnapshotStore(root).load_result("persisted") == {"x": 1}
+
+
+class TestJsonlStreaming:
+    """The append-mode writer + tail reader behind the serving WAL."""
+
+    def test_append_returns_advancing_offsets(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            first = writer.append({"n": 1})
+            second = writer.append({"n": 2})
+        assert 0 < first < second
+        assert second == path.stat().st_size
+        records, next_offset = tail(path)
+        assert records == [{"n": 1}, {"n": 2}]
+        assert next_offset == second
+
+    def test_append_mode_never_truncates(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.append({"n": 1})
+        with JsonlWriter(path) as writer:
+            assert writer.offset == path.stat().st_size  # resumed, not reset
+            writer.append({"n": 2})
+        records, _ = tail(path)
+        assert records == [{"n": 1}, {"n": 2}]
+
+    def test_fsync_flag_accepted(self, tmp_path):
+        with JsonlWriter(tmp_path / "log.jsonl", fsync=True) as writer:
+            writer.append({"durable": True})
+        records, _ = tail(tmp_path / "log.jsonl")
+        assert records == [{"durable": True}]
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = JsonlWriter(tmp_path / "log.jsonl")
+        writer.close()
+        with pytest.raises(StorageError):
+            writer.append({"n": 1})
+
+    def test_tail_resumes_from_offset(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            mid = writer.append({"n": 1})
+            writer.append({"n": 2})
+        records, next_offset = tail(path, mid)
+        assert records == [{"n": 2}]
+        assert next_offset == path.stat().st_size
+        # Resuming from the end reads nothing and stays put.
+        assert tail(path, next_offset) == ([], next_offset)
+
+    def test_truncate_at_discards_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            resume = writer.append({"n": 1})
+        with path.open("ab") as handle:
+            handle.write(b'{"n": 2')  # torn tail from a crash
+        # Reopening at the recovered resume offset discards the fragment,
+        # so the next record does not fuse with it.
+        with JsonlWriter(path, truncate_at=resume) as writer:
+            assert writer.offset == resume
+            writer.append({"n": 3})
+        records, _ = tail(path)
+        assert records == [{"n": 1}, {"n": 3}]
+
+    def test_tail_tolerates_unterminated_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            offset = writer.append({"n": 1})
+        with path.open("ab") as handle:
+            handle.write(b'{"n": 2')  # torn: no newline, incomplete JSON
+        records, next_offset = tail(path)
+        assert records == [{"n": 1}]
+        assert next_offset == offset
+        # Recovery resumes by appending past the torn tail's start.
+        records, _ = tail(path, next_offset)
+        assert records == []
+
+    def test_tail_tolerates_torn_terminated_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.append({"n": 1})
+        with path.open("ab") as handle:
+            handle.write(b'{"n": 2, "tr\n')  # torn payload that kept a newline
+        records, _ = tail(path)
+        assert records == [{"n": 1}]
+
+    def test_tail_rejects_corruption_before_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\nnot json\n{"n": 3}\n')
+        with pytest.raises(StorageError):
+            tail(path)
+
+    def test_tail_missing_file(self, tmp_path):
+        assert tail(tmp_path / "none.jsonl") == ([], 0)
+        with pytest.raises(StorageError):
+            tail(tmp_path / "none.jsonl", offset=10)
