@@ -59,7 +59,10 @@ class EngineConfig:
         Optional nested :class:`~repro.serve.config.ServeConfig` for the
         HTTP serving layer (``python -m repro.serve``).  ``None`` for
         in-process use; a plain mapping is coerced (and validated), so a
-        single JSON document configures engine *and* server.
+        single JSON document configures engine *and* server.  Its
+        ``workers`` knob (``>= 2``) moves the shards into resident worker
+        *processes* for true multi-core ingest, superseding ``shards``
+        for that deployment.
     """
 
     semantics: str = "DG"

@@ -22,6 +22,12 @@ interpreter, real sockets), so the bench measures the serving stack rather
 than process spawn noise.  ``--quick`` shrinks the workload for CI; the
 acceptance bar asserted by ``--check`` is sustained HTTP ingest (the
 faster of the two modes) ≥ 1000 events/s.
+
+``--workers`` adds the process-resident shard deployment as an axis: a
+single value benches that topology, a comma-separated sweep (e.g.
+``--workers 0,4``) runs each deployment against the identical workload
+and emits a ``workers_comparison`` table — bulk/single speedups of every
+run against the in-process baseline.
 """
 
 from __future__ import annotations
@@ -213,8 +219,14 @@ def run_serve_bench(
     fsync: bool = False,
     max_batch: int = 256,
     max_delay_ms: float = 2.0,
+    workers: int = 0,
 ) -> Dict[str, object]:
-    """Run the three phases against one in-process server; return the report."""
+    """Run the three phases against one in-process server; return the report.
+
+    ``workers >= 2`` benches the process-resident shard deployment
+    (``repro.serve.workers``): the same HTTP surface, with shard
+    maintenance scattered across worker processes.
+    """
     initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
     # Labels over the wire are JSON strings; keep the offline shape equal.
     initial = [(f"v{s}", f"v{d}", w) for s, d, w in initial]
@@ -230,6 +242,7 @@ def run_serve_bench(
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             queue_size=4096,
+            workers=workers,
         ),
     )
     wal_tmp: Optional[Path] = None
@@ -288,6 +301,7 @@ def run_serve_bench(
             "semantics": "DW",
             "backend": "array",
             "durability": "wal+fsync" if fsync else "none",
+            "workers": workers,
         },
         "single": single_row,
         "single_under_queries": under_load_row,
@@ -315,6 +329,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fsync", action="store_true", help="enable the WAL + fsync during the bench"
     )
     parser.add_argument(
+        "--workers",
+        type=str,
+        default="0",
+        help=(
+            "process-resident shard workers axis: a single value (e.g. 4) or a "
+            "comma-separated sweep (e.g. 0,4); a sweep emits a workers-vs-"
+            "single comparison in the report (0 = in-process engine)"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help=(
@@ -334,33 +358,104 @@ def main(argv: Optional[List[str]] = None) -> int:
         initial = args.initial or DEFAULT_INITIAL_EDGES
         increments = args.increments or 4000
 
-    report = run_serve_bench(
-        num_vertices=vertices,
-        num_initial=initial,
-        num_increments=increments,
-        seed=args.seed,
-        clients=args.clients,
-        bulk_size=args.bulk_size,
-        fsync=args.fsync,
-        max_batch=args.max_batch,
-        max_delay_ms=args.max_delay_ms,
-    )
+    try:
+        workers_axis = [int(value) for value in args.workers.split(",") if value != ""]
+    except ValueError:
+        print(f"FAIL: --workers must be integers, got {args.workers!r}", file=sys.stderr)
+        return 2
+    if not workers_axis:
+        workers_axis = [0]
+
+    runs: List[Dict[str, object]] = []
+    for workers in workers_axis:
+        runs.append(
+            run_serve_bench(
+                num_vertices=vertices,
+                num_initial=initial,
+                num_increments=increments,
+                seed=args.seed,
+                clients=args.clients,
+                bulk_size=args.bulk_size,
+                fsync=args.fsync,
+                max_batch=args.max_batch,
+                max_delay_ms=args.max_delay_ms,
+                workers=workers,
+            )
+        )
+
+    # The headline report is the last (most-parallel) run; a sweep adds the
+    # per-deployment rows and the workers-vs-single comparison next to it.
+    report = dict(runs[-1])
+    if len(runs) > 1:
+        report["runs"] = [
+            {
+                "workers": run["workload"]["workers"],  # type: ignore[index]
+                "single": run["single"],
+                "single_under_queries": run["single_under_queries"],
+                "query_under_load": run["query_under_load"],
+                "bulk": run["bulk"],
+                "failures": run["failures"],
+            }
+            for run in runs
+        ]
+        report["failures"] = [
+            failure for run in runs for failure in run["failures"]  # type: ignore[union-attr]
+        ]
+        baseline = next(
+            (run for run in runs if int(run["workload"]["workers"]) <= 1), runs[0]  # type: ignore[index]
+        )
+        base_single = float(baseline["single"]["throughput_eps"])  # type: ignore[index]
+        base_bulk = float(baseline["bulk"]["throughput_eps"])  # type: ignore[index]
+        report["workers_comparison"] = {
+            "baseline_workers": baseline["workload"]["workers"],  # type: ignore[index]
+            "rows": [
+                {
+                    "workers": run["workload"]["workers"],  # type: ignore[index]
+                    "single_eps": run["single"]["throughput_eps"],  # type: ignore[index]
+                    "bulk_eps": run["bulk"]["throughput_eps"],  # type: ignore[index]
+                    "single_speedup": round(
+                        float(run["single"]["throughput_eps"]) / base_single, 2  # type: ignore[index]
+                    )
+                    if base_single
+                    else 0.0,
+                    "bulk_speedup": round(
+                        float(run["bulk"]["throughput_eps"]) / base_bulk, 2  # type: ignore[index]
+                    )
+                    if base_bulk
+                    else 0.0,
+                }
+                for run in runs
+            ],
+        }
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    single = report["single"]  # type: ignore[index]
-    query = report["query_under_load"]  # type: ignore[index]
-    bulk = report["bulk"]  # type: ignore[index]
-    print(
-        f"single: {single['throughput_eps']} ev/s "
-        f"(p50 {single['p50_ms']} ms, p99 {single['p99_ms']} ms) | "
-        f"query under load: p50 {query['p50_ms']} ms, p99 {query['p99_ms']} ms "
-        f"({query['queries']} queries) | "
-        f"bulk: {bulk['throughput_eps']} ev/s"
-    )
+
+    for run in runs:
+        single = run["single"]  # type: ignore[index]
+        query = run["query_under_load"]  # type: ignore[index]
+        bulk = run["bulk"]  # type: ignore[index]
+        print(
+            f"workers={run['workload']['workers']}: "  # type: ignore[index]
+            f"single: {single['throughput_eps']} ev/s "
+            f"(p50 {single['p50_ms']} ms, p99 {single['p99_ms']} ms) | "
+            f"query under load: p50 {query['p50_ms']} ms, p99 {query['p99_ms']} ms "
+            f"({query['queries']} queries) | "
+            f"bulk: {bulk['throughput_eps']} ev/s"
+        )
+    comparison = report.get("workers_comparison")
+    if comparison:
+        for row in comparison["rows"]:  # type: ignore[index]
+            print(
+                f"  workers={row['workers']}: bulk {row['bulk_speedup']}x, "
+                f"single {row['single_speedup']}x vs "
+                f"workers={comparison['baseline_workers']}"  # type: ignore[index]
+            )
     failures = report["failures"]  # type: ignore[index]
     if failures:
         for failure in failures:  # type: ignore[union-attr]
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    single = report["single"]  # type: ignore[index]
+    bulk = report["bulk"]  # type: ignore[index]
     sustained = max(float(single["throughput_eps"]), float(bulk["throughput_eps"]))
     if args.check and sustained < 1000.0:
         print(

@@ -10,6 +10,19 @@ shared across workers.  The workers then run the vectorised
 :func:`~repro.peeling.static.peel_csr`, which is bit-identical to the
 shards' incrementally maintained answers.
 
+Two costs are amortised across calls (they dominated repeated
+``shard_communities(parallel=True)`` polling):
+
+* **The worker pool is persistent.**  One module-level
+  ``ProcessPoolExecutor`` (spawn context — safe next to asyncio threads)
+  is created on first use, grown if a later call asks for more workers,
+  and shut down at interpreter exit via ``atexit``.
+* **Unchanged snapshots are not re-saved.**  The array backend's
+  ``freeze()`` is version-guarded: freezing an unmutated graph returns
+  the *identical* snapshot object, which this module uses as the change
+  detector — a shard whose graph version has not moved since the last
+  call reuses its staged ``.npz`` byte for byte.
+
 Only the built-in, name-addressable semantics matter here: snapshots carry
 final weights, so workers never evaluate ``vsusp`` / ``esusp`` and only
 need the display name for labelling the result.
@@ -17,22 +30,108 @@ need the display name for labelling the result.
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import multiprocessing
 import os
+import shutil
 import tempfile
+import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.csr import CsrSnapshot, freeze_graph
 from repro.peeling.result import PeelingResult
 from repro.peeling.static import peel_csr
 
-__all__ = ["parallel_shard_results", "peel_snapshot_file"]
+__all__ = ["parallel_shard_results", "peel_snapshot_file", "shutdown_pool"]
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_STAGING: Optional[str] = None
+#: ``id(graph)`` → ``(weakref(graph) | None, snapshot, staged path)``.
+#: The snapshot's *identity* is the freshness test (see the module
+#: docstring): the cache holds a strong reference to the staged snapshot,
+#: so a different graph — even one reusing the id — can never freeze to
+#: the same object.  The weakref, where the backend supports one, is just
+#: eager cleanup: its callback evicts the entry and unlinks the file.
+_SNAPSHOT_CACHE: Dict[int, Tuple[Optional[weakref.ref], CsrSnapshot, str]] = {}
+_SAVE_COUNTER = itertools.count()
 
 
 def peel_snapshot_file(path: str, semantics_name: str) -> PeelingResult:
     """Worker entry point: mmap-load a snapshot and peel it."""
     snapshot = CsrSnapshot.load(path, mmap_mode="r")
     return peel_csr(snapshot, semantics_name)
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent worker pool, grown to at least ``workers`` slots."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+        )
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _reset_pool() -> None:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool and the staged snapshot files."""
+    global _STAGING
+    _reset_pool()
+    if _STAGING is not None:
+        shutil.rmtree(_STAGING, ignore_errors=True)
+        _STAGING = None
+    _SNAPSHOT_CACHE.clear()
+
+
+atexit.register(shutdown_pool)
+
+
+def _evict(key: int, path: str) -> None:
+    _SNAPSHOT_CACHE.pop(key, None)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _staged_path(graph, snapshot: CsrSnapshot) -> str:
+    """Return the ``.npz`` for ``snapshot``, re-saving only on change."""
+    global _STAGING
+    if _STAGING is None:
+        _STAGING = tempfile.mkdtemp(prefix="repro-shards-")
+    key = id(graph)
+    entry = _SNAPSHOT_CACHE.get(key)
+    if entry is not None:
+        ref, cached, path = entry
+        if (
+            (ref is None or ref() is graph)
+            and cached is snapshot
+            and os.path.exists(path)
+        ):
+            return path
+        _evict(key, path)
+    path = os.path.join(_STAGING, f"shard-{key:x}-{next(_SAVE_COUNTER)}.npz")
+    snapshot.save(path)
+    try:
+        ref = weakref.ref(graph, lambda _ref, key=key, path=path: _evict(key, path))
+    except TypeError:  # slotted backends without __weakref__
+        ref = None
+    _SNAPSHOT_CACHE[key] = (ref, snapshot, path)
+    return path
 
 
 def parallel_shard_results(
@@ -42,20 +141,25 @@ def parallel_shard_results(
 ) -> List[PeelingResult]:
     """Peel every shard graph in parallel worker processes.
 
-    Each graph is frozen and written to a temporary ``.npz``; the worker
-    pool maps the files read-only and peels them concurrently.  Falls
-    back to in-process peeling for a single shard (spawning a pool for
-    one graph costs more than it saves).
+    Each graph is frozen and staged as an ``.npz`` (cached while the
+    graph is unchanged); the persistent worker pool maps the files
+    read-only and peels them concurrently.  Falls back to in-process
+    peeling for a single shard (dispatching to a pool for one graph costs
+    more than it saves).
     """
     snapshots = [freeze_graph(graph) for graph in graphs]
     if len(snapshots) <= 1:
         return [peel_csr(snapshot, semantics_name) for snapshot in snapshots]
-    with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
-        paths = []
-        for index, snapshot in enumerate(snapshots):
-            path = os.path.join(tmp, f"shard{index}.npz")
-            snapshot.save(path)
-            paths.append(path)
-        workers = max_workers or min(len(paths), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(peel_snapshot_file, paths, [semantics_name] * len(paths)))
+    paths = [
+        _staged_path(graph, snapshot) for graph, snapshot in zip(graphs, snapshots)
+    ]
+    workers = max_workers or min(len(paths), os.cpu_count() or 1)
+    names = [semantics_name] * len(paths)
+    try:
+        return list(_pool(workers).map(peel_snapshot_file, paths, names))
+    except BrokenProcessPool:
+        # A worker died (OOM-killed, SIGKILLed by a test harness...).  The
+        # pool is unusable after that; rebuild it once and retry — the
+        # staged snapshots are still valid.
+        _reset_pool()
+        return list(_pool(workers).map(peel_snapshot_file, paths, names))

@@ -211,28 +211,7 @@ class ShardedSpade:
             graph = convert_graph(graph, self._backend)
         self._mirror = graph
         self._router = ShardRouter(graph.interner, self._num_shards)
-        backend = backend_of(graph)
-
-        shard_graphs = [create_graph(backend) for _ in range(self._num_shards)]
-        # Vertices first, in global interner order, so shard-local dense
-        # ids follow the global tie-break order restricted to each shard.
-        for label in graph.interner:
-            if graph.has_vertex(label):
-                shard_graphs[self._router.shard_of(label)].add_vertex(
-                    label, graph.vertex_weight(label)
-                )
-        for src, dst, weight in graph.edges():
-            home, cross = self._router.route_edge(src, dst)
-            shard_graph = shard_graphs[home]
-            if cross and not shard_graph.has_vertex(dst):
-                shard_graph.add_vertex(dst, graph.vertex_weight(dst))
-            shard_graph.add_edge(src, dst, weight)
-
-        self._shards = []
-        for shard_graph in shard_graphs:
-            shard = Spade(self._shard_semantics, edge_grouping=self._edge_grouping)
-            shard.load_graph(shard_graph)
-            self._shards.append(shard)
+        self._boot_shards(self._partition_graphs())
         self._pending = []
         self._pending_has_delete = False
         self._version += 1
@@ -248,6 +227,142 @@ class ShardedSpade:
             edges, vertex_priors=vertex_priors, backend=self.backend
         )
         return self.load_graph(graph)
+
+    # ------------------------------------------------------------------ #
+    # Shard dispatch hooks
+    #
+    # Everything that touches a shard engine funnels through the methods
+    # in this section, so that alternative shard placements — notably the
+    # process-resident workers of :mod:`repro.serve.workers` — can
+    # override *where* shard maintenance runs without re-implementing the
+    # mirror/routing/parking discipline above them.
+    # ------------------------------------------------------------------ #
+    def _partition_graphs(self) -> List[DynamicGraph]:
+        """Deal the mirror into per-shard subgraphs (router-homed edges).
+
+        Vertices first, in global interner order, so shard-local dense
+        ids follow the global tie-break order restricted to each shard;
+        foreign endpoints of cross-shard edges are replicated with their
+        global priors.
+        """
+        graph = self._require_loaded()
+        backend = backend_of(graph)
+        shard_graphs = [create_graph(backend) for _ in range(self._num_shards)]
+        for label in graph.interner:
+            if graph.has_vertex(label):
+                shard_graphs[self._router.shard_of(label)].add_vertex(
+                    label, graph.vertex_weight(label)
+                )
+        for src, dst, weight in graph.edges():
+            home, cross = self._router.route_edge(src, dst)
+            shard_graph = shard_graphs[home]
+            if cross and not shard_graph.has_vertex(dst):
+                shard_graph.add_vertex(dst, graph.vertex_weight(dst))
+            shard_graph.add_edge(src, dst, weight)
+        return shard_graphs
+
+    def _build_shard_graph(self, home: int) -> DynamicGraph:
+        """Rebuild one shard's subgraph from the mirror (respawn path).
+
+        The shard state is *derived*: given the mirror and the router it
+        is reconstructible at any time, which is what makes a crashed
+        worker process recoverable without replaying the WAL twice.
+        """
+        graph = self._require_loaded()
+        router = self.router
+        shard_graph = create_graph(backend_of(graph))
+        for label in graph.interner:
+            if graph.has_vertex(label) and router.shard_of(label) == home:
+                shard_graph.add_vertex(label, graph.vertex_weight(label))
+        for src, dst, weight in graph.edges():
+            edge_home, cross = router.route_edge(src, dst)
+            if edge_home != home:
+                continue
+            if cross and not shard_graph.has_vertex(dst):
+                shard_graph.add_vertex(dst, graph.vertex_weight(dst))
+            shard_graph.add_edge(src, dst, weight)
+        return shard_graph
+
+    def _boot_shards(self, shard_graphs: List[DynamicGraph]) -> None:
+        """Construct the shard engines from their partitioned subgraphs."""
+        self._shards = []
+        for shard_graph in shard_graphs:
+            shard = Spade(self._shard_semantics, edge_grouping=self._edge_grouping)
+            shard.load_graph(shard_graph)
+            self._shards.append(shard)
+
+    def _park(self, update: EdgeUpdate, home: int) -> None:
+        """Park one pre-weighted cross-shard update for the next drain."""
+        self._pending.append(update)
+        if update.delete:
+            self._pending_has_delete = True
+
+    def _dispatch_immediate(
+        self,
+        immediate: Dict[int, List[EdgeUpdate]],
+        batch: bool,
+        timestamp: Optional[float],
+        stats: ReorderStats,
+    ) -> None:
+        """Apply intra-shard insert updates to their owning shards."""
+        for home, routed in immediate.items():
+            shard = self._shards[home]
+            if not batch and len(routed) == 1:
+                update = routed[0]
+                shard.insert_edge(
+                    update.src,
+                    update.dst,
+                    update.weight,
+                    timestamp=timestamp,
+                    src_prior=update.src_weight,
+                    dst_prior=update.dst_weight,
+                )
+            else:
+                shard.insert_batch_edges(routed)
+            stats.merge(shard.last_stats)
+
+    def _dispatch_deletes(
+        self, immediate: Dict[int, List[Tuple[Vertex, Vertex]]], stats: ReorderStats
+    ) -> None:
+        """Apply intra-shard deletions to their owning shards."""
+        for home, doomed in immediate.items():
+            shard = self._shards[home]
+            shard.delete_edges(doomed)
+            stats.merge(shard.last_stats)
+
+    def _dispatch_parked(
+        self, per_home: Dict[int, List[EdgeUpdate]], stats: Optional[ReorderStats]
+    ) -> None:
+        """Apply each shard's drained queue slice as insert/delete runs."""
+        for home, ops in per_home.items():
+            shard = self._shards[home]
+            i = 0
+            while i < len(ops):
+                j = i
+                if ops[i].delete:
+                    while j < len(ops) and ops[j].delete:
+                        j += 1
+                    shard.delete_edges([(u.src, u.dst) for u in ops[i:j]])
+                else:
+                    while j < len(ops) and not ops[j].delete:
+                        j += 1
+                    shard.insert_batch_edges(ops[i:j])
+                if stats is not None:
+                    stats.merge(shard.last_stats)
+                i = j
+
+    def _flush_shards(self) -> None:
+        """Tick every shard's ``flush_pending`` (fast no-op when empty)."""
+        for shard in self._shards:
+            shard.flush_pending()
+
+    def _shard_communities(self) -> List[Community]:
+        """Every shard's currently maintained community, in shard order."""
+        return [shard.detect() for shard in self._shards]
+
+    def _shard_pending(self) -> int:
+        """Deferred (benign-buffered) edges across all shard engines."""
+        return sum(shard.pending_edges() for shard in self._shards)
 
     # ------------------------------------------------------------------ #
     # Detection
@@ -300,7 +415,7 @@ class ShardedSpade:
                 [shard.graph for shard in self._shards], self._semantics.name
             )
             return [Community(r.community, r.best_density, r.best_index) for r in results]
-        return [shard.detect() for shard in self._shards]
+        return self._shard_communities()
 
     def enumerate_frauds(
         self,
@@ -342,8 +457,7 @@ class ShardedSpade:
         if self._pending_has_delete:
             self._apply_pending()
         best: Optional[Community] = None
-        for shard in self._shards:
-            community = shard.detect()
+        for community in self._shard_communities():
             if best is None or community.density > best.density:
                 best = community
         if best is None:
@@ -397,16 +511,12 @@ class ShardedSpade:
             removed = True
             home, cross = self._router.route_edge(src, dst)
             if cross and self._num_shards > 1:
-                self._pending.append(EdgeUpdate(src, dst, delete=True))
-                self._pending_has_delete = True
+                self._park(EdgeUpdate(src, dst, delete=True), home)
                 self.cross_shard_updates += 1
             else:
                 immediate.setdefault(home, []).append((src, dst))
                 self.intra_shard_updates += 1
-        for home, doomed in immediate.items():
-            shard = self._shards[home]
-            shard.delete_edges(doomed)
-            stats.merge(shard.last_stats)
+        self._dispatch_deletes(immediate, stats)
         if removed:
             self._version += 1
         if len(self._pending) >= self._coordinator_interval:
@@ -457,27 +567,13 @@ class ShardedSpade:
                 dst_weight=mirror.vertex_weight(update.dst),
             )
             if cross and self._num_shards > 1:
-                self._pending.append(pre)
+                self._park(pre, home)
                 self.cross_shard_updates += 1
             else:
                 immediate.setdefault(home, []).append(pre)
                 self.intra_shard_updates += 1
 
-        for home, routed in immediate.items():
-            shard = self._shards[home]
-            if not batch and len(routed) == 1:
-                update = routed[0]
-                shard.insert_edge(
-                    update.src,
-                    update.dst,
-                    update.weight,
-                    timestamp=timestamp,
-                    src_prior=update.src_weight,
-                    dst_prior=update.dst_weight,
-                )
-            else:
-                shard.insert_batch_edges(routed)
-            stats.merge(shard.last_stats)
+        self._dispatch_immediate(immediate, batch, timestamp, stats)
 
         self._version += 1
         if len(self._pending) >= self._coordinator_interval:
@@ -504,30 +600,12 @@ class ShardedSpade:
         per_home: Dict[int, List[EdgeUpdate]] = {}
         for update in queue:
             per_home.setdefault(self._router.shard_of(update.src), []).append(update)
-        for home, ops in per_home.items():
-            shard = self._shards[home]
-            i = 0
-            while i < len(ops):
-                j = i
-                if ops[i].delete:
-                    while j < len(ops) and ops[j].delete:
-                        j += 1
-                    shard.delete_edges([(u.src, u.dst) for u in ops[i:j]])
-                else:
-                    while j < len(ops) and not ops[j].delete:
-                        j += 1
-                    shard.insert_batch_edges(ops[i:j])
-                if stats is not None:
-                    stats.merge(shard.last_stats)
-                i = j
+        self._dispatch_parked(per_home, stats)
 
     def _coordinator_pass(self) -> None:
         """One coordinator tick: drain the queue, flush every shard."""
         self._apply_pending()
-        for shard in self._shards:
-            # Fast no-op when the shard has nothing buffered (the common
-            # case): returns the cached community without a re-peel.
-            shard.flush_pending()
+        self._flush_shards()
 
     def flush_pending(self) -> Community:
         """Force a coordinator pass; returns the shard-local view."""
@@ -536,8 +614,7 @@ class ShardedSpade:
 
     def pending_edges(self) -> int:
         """Cross-shard queue length plus per-shard grouper buffers."""
-        parked = len(self._pending)
-        return parked + sum(shard.pending_edges() for shard in self._shards)
+        return len(self._pending) + self._shard_pending()
 
     # ------------------------------------------------------------------ #
     # Built-ins exposed for inspection

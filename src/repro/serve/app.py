@@ -183,6 +183,28 @@ class ServeApp:
         recovered = recover(config, semantics=semantics, initial_edges=initial_edges)
         self.client = recovered.client
         self.recovered_ops = recovered.replayed_ops
+        self._worker_engine: Optional["WorkerEngine"] = None
+        if self.serve_config.workers > 1:
+            # Multi-core serving: recovery rebuilt the exact single-engine
+            # graph; hand it to process-resident shard workers as the
+            # coordinator mirror.  Deferred (grouped) edges are flushed
+            # first so no accepted update is lost in the lift — merged
+            # worker-mode detection is flush-consistent anyway.
+            from repro.api.client import SpadeClient
+            from repro.serve.workers import WorkerEngine
+
+            self.client.engine.flush_pending()
+            engine = WorkerEngine(
+                self.client.semantics,
+                num_shards=self.serve_config.workers,
+                edge_grouping=config.edge_grouping,
+                backend=self.client.backend,
+                coordinator_interval=config.coordinator_interval,
+                metrics=self.metrics,
+            )
+            engine.load_graph(self.client.graph)
+            self.client = SpadeClient.wrap(engine)
+            self._worker_engine = engine
         self._lock = asyncio.Lock()
         self.service = SnapshotService(self.client, self._lock)
 
@@ -248,6 +270,8 @@ class ServeApp:
         if self._wal is not None:
             self._wal.sync()
             self._wal.close()
+        if self._worker_engine is not None:
+            self._worker_engine.close()
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -384,6 +408,12 @@ class ServeApp:
             "recovered_ops": self.recovered_ops,
             "library_version": __version__,
         }
+        if self._worker_engine is not None:
+            payload["workers"] = {
+                "count": self._worker_engine.num_shards,
+                "pids": self._worker_engine.worker_pids(),
+                "restarts": list(self._worker_engine.worker_restarts),
+            }
         return json_response(200, payload)
 
     async def _handle_metrics(self, request: Request) -> Response:

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not fsync WAL appends (faster, crash-durable only)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-resident shard workers (>= 2 enables multi-core ingest; 0 = in-process)",
+    )
+    parser.add_argument(
         "--load",
         type=Path,
         default=None,
@@ -84,6 +90,8 @@ def _resolve_config(args: argparse.Namespace) -> EngineConfig:
         overrides["wal_dir"] = args.wal_dir
     if args.no_fsync:
         overrides["fsync"] = False
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if overrides:
         serve = serve.replace(**overrides)
     return config.replace(serve=serve)
@@ -95,7 +103,8 @@ async def _run(config: EngineConfig, initial_edges: Optional[List[tuple]]) -> No
     print(
         f"repro.serve listening on http://{app.serve_config.host}:{app.server.port} "
         f"(semantics={app.client.semantics.name}, backend={app.client.backend}, "
-        f"shards={app.client.shards}, recovered_ops={app.recovered_ops})",
+        f"shards={app.client.shards}, workers={app.serve_config.workers}, "
+        f"recovered_ops={app.recovered_ops})",
         flush=True,
     )
     stop = asyncio.Event()

@@ -59,6 +59,15 @@ class ServeConfig:
         suffix past the latest checkpoint.
     max_body_bytes:
         Largest request body the HTTP server accepts (``413`` beyond).
+    workers:
+        Number of process-resident shard workers behind the gateway
+        (``repro.serve.workers``).  ``0`` (default) and ``1`` keep the
+        whole engine in the server process; ``>= 2`` hash-partitions the
+        graph across that many worker **processes** — true multi-core
+        ingest — while the coordinator keeps the exact global mirror, so
+        detections stay bit-identical to a single engine.  Supersedes the
+        engine-level ``shards`` knob for the served deployment (the
+        workers *are* the shards).
     """
 
     host: str = "127.0.0.1"
@@ -70,6 +79,7 @@ class ServeConfig:
     fsync: bool = True
     checkpoint_interval: int = 10000
     max_body_bytes: int = 8 * 1024 * 1024
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.host, str) or not self.host:
@@ -92,6 +102,8 @@ class ServeConfig:
             raise ConfigError(
                 f"max_body_bytes must be >= 1024, got {self.max_body_bytes}"
             )
+        if not 0 <= int(self.workers) <= 64:
+            raise ConfigError(f"workers must be in [0, 64], got {self.workers}")
 
     # ------------------------------------------------------------------ #
     # Round-tripping (mirrors EngineConfig's contract)

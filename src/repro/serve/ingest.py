@@ -104,6 +104,10 @@ class IngestGateway:
         self._m_fsync = metrics.histogram(
             "repro_wal_append_seconds", "WAL append (incl. fsync) per operation"
         )
+        self._m_apply = metrics.histogram(
+            "repro_engine_apply_seconds",
+            "Engine apply per operation (scatter/gather when worker-sharded)",
+        )
         self._m_latency = metrics.histogram(
             "repro_ingest_ack_seconds", "Submission enqueue to acknowledgment"
         )
@@ -286,7 +290,9 @@ class IngestGateway:
             else:
                 offset = 0
             try:
+                apply_began = time.perf_counter()
                 report = self._client.apply([op])
+                self._m_apply.observe(time.perf_counter() - apply_began)
             except (ReproError, TypeError, ValueError) as exc:
                 # Deterministic engine rejection (invalid weight, a label
                 # the engine cannot digest...).  The record is already

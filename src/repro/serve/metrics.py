@@ -9,12 +9,13 @@ under the writer lock), so the implementation carries no locking.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
@@ -36,14 +37,25 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _label_str(labels: Mapping[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    """Render a ``{k="v",...}`` label block (empty string when unlabeled)."""
+    pairs = [(key, labels[key]) for key in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{key}="{value}"' for key, value in pairs) + "}"
+
+
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str) -> None:
+    def __init__(self, name: str, help: str, labels: Optional[Mapping[str, str]] = None) -> None:
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -55,22 +67,26 @@ class Counter:
     def value(self) -> float:
         return self._value
 
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name}{_label_str(self.labels)} {_fmt(self._value)}"]
+
     def render(self) -> List[str]:
         return [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} counter",
-            f"{self.name} {_fmt(self._value)}",
+            *self.sample_lines(),
         ]
 
 
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str) -> None:
+    def __init__(self, name: str, help: str, labels: Optional[Mapping[str, str]] = None) -> None:
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -86,24 +102,32 @@ class Gauge:
     def value(self) -> float:
         return self._value
 
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name}{_label_str(self.labels)} {_fmt(self._value)}"]
+
     def render(self) -> List[str]:
         return [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} gauge",
-            f"{self.name} {_fmt(self._value)}",
+            *self.sample_lines(),
         ]
 
 
 class Histogram:
     """A cumulative histogram with fixed upper bounds."""
 
-    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count")
+    __slots__ = ("name", "help", "labels", "buckets", "_counts", "_sum", "_count")
 
     def __init__(
-        self, name: str, help: str, buckets: Sequence[float] = LATENCY_BUCKETS
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self.buckets = tuple(sorted(float(b) for b in buckets))
         if not self.buckets:
             raise ValueError(f"histogram {name} needs at least one bucket")
@@ -143,16 +167,83 @@ class Histogram:
                 return bound
         return self.buckets[-1]
 
+    def sample_lines(self) -> List[str]:
+        lines = []
+        for bound, count in zip(self.buckets, self._counts):
+            block = _label_str(self.labels, extra=("le", _fmt(bound)))
+            lines.append(f"{self.name}_bucket{block} {count}")
+        block = _label_str(self.labels, extra=("le", "+Inf"))
+        lines.append(f"{self.name}_bucket{block} {self._count}")
+        suffix = _label_str(self.labels)
+        lines.append(f"{self.name}_sum{suffix} {_fmt(self._sum)}")
+        lines.append(f"{self.name}_count{suffix} {self._count}")
+        return lines
+
     def render(self) -> List[str]:
-        lines = [
+        return [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} histogram",
+            *self.sample_lines(),
         ]
-        for bound, count in zip(self.buckets, self._counts):
-            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {count}')
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
-        lines.append(f"{self.name}_sum {_fmt(self._sum)}")
-        lines.append(f"{self.name}_count {self._count}")
+
+
+class MetricFamily:
+    """A labeled family: one name/help, one child metric per label set.
+
+    The serving layer's shard workers need per-shard samples
+    (``repro_worker_queue_depth{shard="2"}``) under one ``# HELP`` /
+    ``# TYPE`` header — the Prometheus child-metric model.  ``labels()``
+    returns (creating on first use) the child for one label valuation;
+    children keep first-use order in the rendered output.
+    """
+
+    def __init__(
+        self,
+        kind: type,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not labelnames:
+            raise ValueError(f"metric family {name} needs at least one label name")
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = buckets
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: object):
+        """Return the child metric for one label valuation (create once)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            ordered = dict(zip(self.labelnames, key))
+            if self.kind is Histogram:
+                child = Histogram(
+                    self.name,
+                    self.help,
+                    self._buckets if self._buckets is not None else LATENCY_BUCKETS,
+                    labels=ordered,
+                )
+            else:
+                child = self.kind(self.name, self.help, labels=ordered)
+            self._children[key] = child
+        return child
+
+    def render(self) -> List[str]:
+        type_name = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[self.kind]
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {type_name}",
+        ]
+        for child in self._children.values():
+            lines.extend(child.sample_lines())  # type: ignore[attr-defined]
         return lines
 
 
@@ -168,15 +259,25 @@ class MetricsRegistry:
         self._metrics[metric.name] = metric
         return metric
 
-    def counter(self, name: str, help: str) -> Counter:
+    def counter(self, name: str, help: str, labelnames: Optional[Sequence[str]] = None):
+        if labelnames is not None:
+            return self._register(MetricFamily(Counter, name, help, labelnames))
         return self._register(Counter(name, help))
 
-    def gauge(self, name: str, help: str) -> Gauge:
+    def gauge(self, name: str, help: str, labelnames: Optional[Sequence[str]] = None):
+        if labelnames is not None:
+            return self._register(MetricFamily(Gauge, name, help, labelnames))
         return self._register(Gauge(name, help))
 
     def histogram(
-        self, name: str, help: str, buckets: Optional[Sequence[float]] = None
-    ) -> Histogram:
+        self,
+        name: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+        labelnames: Optional[Sequence[str]] = None,
+    ):
+        if labelnames is not None:
+            return self._register(MetricFamily(Histogram, name, help, labelnames, buckets))
         return self._register(
             Histogram(name, help, buckets if buckets is not None else LATENCY_BUCKETS)
         )

@@ -120,8 +120,20 @@ def _fraud_edges(num: int, seed: int = 11) -> List[List[object]]:
     return rows[:num]
 
 
-def run_smoke(events: int = 600, checkpoint_interval: int = 150, verbose: bool = True) -> int:
-    """Run the kill-and-restart divergence check; return a process exit code."""
+def run_smoke(
+    events: int = 600,
+    checkpoint_interval: int = 150,
+    workers: int = 0,
+    verbose: bool = True,
+) -> int:
+    """Run the kill-and-restart divergence check; return a process exit code.
+
+    With ``workers >= 2`` the server runs process-resident shard workers,
+    and the smoke adds a third failure mode between the ingest phases: one
+    shard worker is ``SIGKILL``\\ ed mid-stream and the server must respawn
+    it from the coordinator mirror (visible in ``/healthz`` restarts)
+    without losing exactness against the offline replay.
+    """
 
     def say(message: str) -> None:
         if verbose:
@@ -141,6 +153,7 @@ def run_smoke(events: int = 600, checkpoint_interval: int = 150, verbose: bool =
                 "max_delay_ms": 2.0,
                 "max_batch": 64,
                 "checkpoint_interval": checkpoint_interval,
+                "workers": workers,
             },
         }
         config_path = Path(tmp) / "engine.json"
@@ -170,6 +183,27 @@ def run_smoke(events: int = 600, checkpoint_interval: int = 150, verbose: bool =
                 f"mid-stream detect at version {mid_detect['version']}: "
                 f"|S|={len(mid_detect['community'])} g={mid_detect['density']:.4f}"
             )
+            if workers > 1:
+                # Worker-crash phase: SIGKILL one shard worker, keep
+                # ingesting, and require a respawn before killing the
+                # whole server below.
+                status, health = _request(port, "GET", "/healthz")
+                assert status == 200 and "workers" in health, f"no worker info: {health}"
+                victim = int(health["workers"]["pids"][0])
+                os.kill(victim, signal.SIGKILL)
+                say(f"killed -9 shard worker pid {victim}")
+                stop = min(index + 50, len(rows))
+                while index < stop:
+                    chunk = rows[index : index + 25]
+                    status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
+                    assert status == 200, f"post-worker-kill post failed: {status}"
+                    index += len(chunk)
+                status, health = _request(port, "GET", "/healthz")
+                assert status == 200
+                restarts = health["workers"]["restarts"]
+                assert sum(restarts) >= 1, f"worker was not respawned: {health['workers']}"
+                say(f"worker respawned from the mirror (restarts={restarts})")
+            resume_at = index
             # Kill without ceremony, mid-stream.
             os.kill(proc.pid, signal.SIGKILL)
             proc.wait(timeout=30)
@@ -189,7 +223,7 @@ def run_smoke(events: int = 600, checkpoint_interval: int = 150, verbose: bool =
                 f"phase 2 recovered to version {health['version']} "
                 f"({health['recovered_ops']} WAL ops replayed); ingesting the rest"
             )
-            index = mid
+            index = resume_at
             while index < len(rows):
                 chunk = rows[index : index + 25]
                 status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
@@ -268,11 +302,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--events", type=int, default=600)
     parser.add_argument("--checkpoint-interval", type=int, default=150)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-resident shard workers (adds a worker kill -9 phase when >= 2)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     return run_smoke(
         events=args.events,
         checkpoint_interval=args.checkpoint_interval,
+        workers=args.workers,
         verbose=not args.quiet,
     )
 

@@ -1,0 +1,534 @@
+"""Process-resident shard workers: true multi-core ingest for ``repro.serve``.
+
+The in-process :class:`~repro.engine.sharded.ShardedSpade` proved the
+partition-then-combine discipline (13× single-edge insert throughput at 4
+shards), but the served stack still drove every shard from one GIL-bound
+interpreter.  This module moves each shard into a **resident worker
+process** (spawn start method, one duplex pipe per shard) while the
+coordinator — the asyncio gateway's single writer — keeps exactly the
+responsibilities that must stay ordered and global:
+
+* the **mirror**: the bit-identical global graph every ``vsusp`` /
+  ``esusp`` evaluation runs against, and the thing merged ``detect()``
+  peels (via its cached CSR snapshot) — so exactness never depends on
+  worker state;
+* the **WAL sequence**: one ordered log, acks only after WAL append +
+  worker apply, deletes/flushes remaining ordering barriers across all
+  shards;
+* the **routing/parking discipline** inherited unchanged from
+  ``ShardedSpade`` (same PYTHONHASHSEED-independent hash, so worker-mode
+  answers are comparable with in-process answers edge for edge).
+
+What changes is *where* shard maintenance runs: the dispatch hooks
+scatter per-shard slices to the worker pipes and then gather, so N
+workers chew their reorder passes concurrently on real cores.  Parked
+cross-shard batches drain the same way — one ``runs`` message per owning
+shard, all shards in flight at once — turning the coordinator pass into a
+pipelined stage instead of a serial loop.
+
+Worker state is **derived state**: given the mirror and the router it is
+reconstructible at any time, which makes the failure policy simple — a
+dead, wedged or erroring worker is killed and respawned from a fresh
+partition of the mirror (``kill -9`` a worker mid-stream and the served
+answers stay bit-identical to the offline single-engine replay; the
+respawn is counted in ``repro_worker_restarts_total``).  Boot and respawn
+ship the shard subgraph as a ``CsrSnapshot`` ``.npz`` that the child
+memory-maps read-only (the PR 2 zero-copy path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.reorder import ReorderStats
+from repro.core.state import Community
+from repro.engine.sharded import ShardedSpade
+from repro.engine.worker import WorkerState, decode_state, encode_update, shard_worker_main
+from repro.errors import ReproError
+from repro.graph.csr import freeze_graph
+from repro.graph.delta import EdgeUpdate
+from repro.graph.graph import DynamicGraph, Vertex
+from repro.peeling.semantics import PeelingSemantics
+from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
+
+__all__ = ["ShardWorker", "WorkerCrash", "WorkerEngine"]
+
+#: Spawn, never fork: the coordinator runs inside an asyncio process with
+#: executor threads, and forking a threaded interpreter is a deadlock
+#: lottery.  Spawned children boot a clean interpreter and re-import.
+_CTX = multiprocessing.get_context("spawn")
+
+
+class WorkerCrash(ReproError):
+    """A shard worker died, timed out, or answered with an error."""
+
+
+class ShardWorker:
+    """One resident shard process behind a strict request/response pipe."""
+
+    def __init__(
+        self,
+        index: int,
+        staging_dir: str,
+        semantics_name: str,
+        edge_grouping: bool,
+        backend: str,
+    ) -> None:
+        self.index = index
+        self._staging = staging_dir
+        self._semantics_name = semantics_name
+        self._edge_grouping = edge_grouping
+        self._backend = backend
+        self._conn = None
+        self._proc: Optional[multiprocessing.process.BaseProcess] = None
+        self._loads = 0
+        self._snapshot_path: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def spawn(self) -> None:
+        """Start the child process (idempotent only via destroy-first)."""
+        parent, child = _CTX.Pipe()
+        proc = _CTX.Process(
+            target=shard_worker_main,
+            args=(child, self.index),
+            name=f"repro-shard-{self.index}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conn = parent
+        self._proc = proc
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def destroy(self) -> None:
+        """Close the pipe and make sure the child is gone."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=5)
+                if self._proc.is_alive():  # pragma: no cover - stuck child
+                    self._proc.kill()
+                    self._proc.join(timeout=5)
+            self._proc = None
+        self.discard_snapshot()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: ask, wait, then force."""
+        if self._conn is not None and self.alive():
+            try:
+                self._conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+            else:
+                assert self._proc is not None
+                self._proc.join(timeout=timeout)
+        self.destroy()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def post(self, message: Tuple[str, object]) -> None:
+        """Send one request without waiting (scatter half)."""
+        if self._conn is None:
+            raise WorkerCrash(f"shard worker {self.index} has no live pipe")
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(f"shard worker {self.index} pipe broke on send: {exc}") from exc
+
+    def post_load(self, shard_graph: DynamicGraph) -> None:
+        """Freeze ``shard_graph`` to a ``.npz`` and send the load request."""
+        self._loads += 1
+        path = os.path.join(self._staging, f"shard{self.index}-{self._loads}.npz")
+        freeze_graph(shard_graph).save(path)
+        self._snapshot_path = path
+        self.post(
+            (
+                "load",
+                {
+                    "snapshot": path,
+                    "semantics": self._semantics_name,
+                    "edge_grouping": self._edge_grouping,
+                    "backend": self._backend,
+                },
+            )
+        )
+
+    def discard_snapshot(self) -> None:
+        """Unlink the staged boot snapshot once the worker adopted it."""
+        if self._snapshot_path is not None:
+            try:
+                os.unlink(self._snapshot_path)
+            except OSError:
+                pass
+            self._snapshot_path = None
+
+    def collect(self, timeout: float) -> Optional[WorkerState]:
+        """Receive one response (gather half); raise :class:`WorkerCrash`.
+
+        Polls in short slices so a child that died without closing the
+        pipe (``kill -9``) is noticed promptly rather than at the
+        deadline.
+        """
+        if self._conn is None:
+            raise WorkerCrash(f"shard worker {self.index} has no live pipe")
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerCrash(
+                    f"shard worker {self.index} timed out after {timeout:.0f}s"
+                )
+            if self._conn.poll(min(remaining, 0.2)):
+                try:
+                    status, payload = self._conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrash(
+                        f"shard worker {self.index} pipe closed mid-request: {exc}"
+                    ) from exc
+                if status != "ok":
+                    raise WorkerCrash(f"shard worker {self.index} failed: {payload}")
+                if isinstance(payload, dict) and "community" in payload:
+                    return decode_state(payload)
+                return None
+            if self._proc is not None and not self._proc.is_alive():
+                # One last poll: a response may still sit in the pipe.
+                if self._conn.poll(0):
+                    continue
+                raise WorkerCrash(
+                    f"shard worker {self.index} exited with code {self._proc.exitcode}"
+                )
+
+
+class WorkerEngine(ShardedSpade):
+    """``ShardedSpade`` whose shards live in resident worker processes.
+
+    Inherits the whole coordinator discipline — mirror maintenance,
+    semantics evaluation, routing, cross-shard parking, merged detection
+    off the mirror snapshot — and overrides only the shard dispatch
+    hooks, scattering each dispatch across the worker pipes and gathering
+    the per-shard results (community view, maintenance counters, benign
+    buffer depth) that every worker response carries.
+
+    Failure policy: any pipe break, timeout or worker-side error respawns
+    that shard from a fresh partition of the mirror; parked updates homed
+    on the respawned shard are dropped because the mirror (and therefore
+    the rebuilt shard) already contains them.
+    """
+
+    def __init__(
+        self,
+        semantics: Optional[PeelingSemantics] = None,
+        num_shards: int = 4,
+        edge_grouping: bool = False,
+        backend: Optional[str] = None,
+        coordinator_interval: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        request_timeout: float = 120.0,
+        load_timeout: float = 600.0,
+    ) -> None:
+        super().__init__(
+            semantics,
+            num_shards=num_shards,
+            edge_grouping=edge_grouping,
+            backend=backend,
+            coordinator_interval=coordinator_interval,
+        )
+        self._workers: List[ShardWorker] = []
+        self._local: List[Optional[Community]] = [None] * num_shards
+        self._benign_pending = [0] * num_shards
+        self._parked_by_home = [0] * num_shards
+        self._request_timeout = float(request_timeout)
+        self._load_timeout = float(load_timeout)
+        self._staging = tempfile.mkdtemp(prefix="repro-workers-")
+        self._closed = False
+        #: Respawn count per shard (also exported as a labeled counter).
+        self.worker_restarts = [0] * num_shards
+
+        self._m_queue = self._m_apply = self._m_restarts = None
+        if metrics is not None:
+            self._m_queue = metrics.gauge(
+                "repro_worker_queue_depth",
+                "Parked cross-shard updates awaiting the owning worker",
+                labelnames=("shard",),
+            )
+            self._m_apply = metrics.histogram(
+                "repro_worker_apply_seconds",
+                "Per-dispatch worker apply latency (send to response)",
+                labelnames=("shard",),
+            )
+            self._m_restarts = metrics.counter(
+                "repro_worker_restarts_total",
+                "Worker processes respawned after a crash/timeout/error",
+                labelnames=("shard",),
+            )
+            self._m_batch = metrics.histogram(
+                "repro_worker_dispatch_edges",
+                "Edges shipped to one worker in one dispatch",
+                buckets=SIZE_BUCKETS,
+                labelnames=("shard",),
+            )
+        else:
+            self._m_batch = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def worker_pids(self) -> List[Optional[int]]:
+        """Live worker process ids, in shard order (operational surface)."""
+        return [worker.pid for worker in self._workers]
+
+    # ------------------------------------------------------------------ #
+    # Shard dispatch hooks (process-resident overrides)
+    # ------------------------------------------------------------------ #
+    def _boot_shards(self, shard_graphs: List[DynamicGraph]) -> None:
+        if self._closed:
+            raise ReproError("worker engine is closed")
+        self._stop_workers()
+        self._shards = []  # no in-process shard engines in worker mode
+        self._local = [None] * self._num_shards
+        self._benign_pending = [0] * self._num_shards
+        self._parked_by_home = [0] * self._num_shards
+        self._workers = [
+            ShardWorker(
+                index,
+                self._staging,
+                self._semantics.name,
+                self._edge_grouping,
+                self.backend,
+            )
+            for index in range(self._num_shards)
+        ]
+        # Spawn + load scatter first, gather second: the children boot
+        # and run their Algorithm-1 static peels concurrently.
+        for worker in self._workers:
+            worker.spawn()
+        for worker, shard_graph in zip(self._workers, shard_graphs):
+            worker.post_load(shard_graph)
+        for index, worker in enumerate(self._workers):
+            state = worker.collect(self._load_timeout)
+            assert state is not None
+            worker.discard_snapshot()
+            self._local[index] = state.community
+            self._benign_pending[index] = state.pending
+
+    def _park(self, update: EdgeUpdate, home: int) -> None:
+        super()._park(update, home)
+        self._parked_by_home[home] += 1
+        if self._m_queue is not None:
+            self._m_queue.labels(shard=home).set(self._parked_by_home[home])
+
+    def _dispatch_immediate(
+        self,
+        immediate: Dict[int, List[EdgeUpdate]],
+        batch: bool,
+        timestamp: Optional[float],
+        stats: ReorderStats,
+    ) -> None:
+        messages: Dict[int, Tuple[str, object]] = {}
+        for home, routed in immediate.items():
+            if not batch and len(routed) == 1:
+                messages[home] = ("single", (encode_update(routed[0]), timestamp))
+            else:
+                messages[home] = ("batch", [encode_update(u) for u in routed])
+        self._scatter(messages, stats)
+
+    def _dispatch_deletes(
+        self, immediate: Dict[int, List[Tuple[Vertex, Vertex]]], stats: ReorderStats
+    ) -> None:
+        self._scatter(
+            {home: ("delete", [tuple(edge) for edge in doomed]) for home, doomed in immediate.items()},
+            stats,
+        )
+
+    def _dispatch_parked(
+        self, per_home: Dict[int, List[EdgeUpdate]], stats: Optional[ReorderStats]
+    ) -> None:
+        messages: Dict[int, Tuple[str, object]] = {}
+        for home, ops in per_home.items():
+            runs: List[Tuple[bool, List[object]]] = []
+            i = 0
+            while i < len(ops):
+                j = i
+                if ops[i].delete:
+                    while j < len(ops) and ops[j].delete:
+                        j += 1
+                    runs.append((True, [(u.src, u.dst) for u in ops[i:j]]))
+                else:
+                    while j < len(ops) and not ops[j].delete:
+                        j += 1
+                    runs.append((False, [encode_update(u) for u in ops[i:j]]))
+                i = j
+            messages[home] = ("runs", runs)
+        self._scatter(messages, stats)
+        for home in range(self._num_shards):
+            if self._parked_by_home[home]:
+                self._parked_by_home[home] = 0
+                if self._m_queue is not None:
+                    self._m_queue.labels(shard=home).set(0)
+
+    def _flush_shards(self) -> None:
+        self._scatter(
+            {home: ("flush", None) for home in range(self._num_shards)}, None
+        )
+
+    def _shard_communities(self) -> List[Community]:
+        # Every worker response carries the shard's current community, so
+        # the coordinator-side cache is always fresh: no IPC round trip.
+        communities = []
+        for home, community in enumerate(self._local):
+            if community is None:
+                raise ReproError(f"shard worker {home} has no loaded state")
+            communities.append(community)
+        return communities
+
+    def _shard_pending(self) -> int:
+        return sum(self._benign_pending)
+
+    def shard_communities(self, parallel: Optional[bool] = None) -> List[Community]:
+        """Every shard's current community (coordinator pass included).
+
+        Worker mode keeps the per-shard answers current on every
+        response, so this is IPC-free beyond the coordinator pass itself
+        (``parallel`` is accepted for interface compatibility — the work
+        already ran in the worker processes).
+        """
+        self._coordinator_pass()
+        return self._shard_communities()
+
+    # ------------------------------------------------------------------ #
+    # Scatter/gather + failure policy
+    # ------------------------------------------------------------------ #
+    def _edges_in(self, message: Tuple[str, object]) -> int:
+        kind, payload = message
+        if kind == "single":
+            return 1
+        if kind in ("batch", "delete"):
+            return len(payload)  # type: ignore[arg-type]
+        if kind == "runs":
+            return sum(len(rows) for _is_delete, rows in payload)  # type: ignore[union-attr]
+        return 0
+
+    def _scatter(
+        self,
+        messages: Dict[int, Tuple[str, object]],
+        stats: Optional[ReorderStats],
+    ) -> None:
+        """Send every shard its slice, then gather; respawn on failure.
+
+        The scatter half never blocks on a slow shard (one request per
+        pipe, workers are always draining), so all addressed workers run
+        their maintenance passes concurrently; the gather half observes
+        per-shard apply latency and refreshes the cached local views.
+        """
+        posted: List[Tuple[int, float]] = []
+        for home, message in messages.items():
+            began = time.perf_counter()
+            try:
+                self._workers[home].post(message)
+            except WorkerCrash:
+                self._respawn(home)
+                continue
+            posted.append((home, began))
+            if self._m_batch is not None:
+                self._m_batch.labels(shard=home).observe(max(1, self._edges_in(message)))
+        for home, began in posted:
+            try:
+                state = self._workers[home].collect(self._request_timeout)
+            except WorkerCrash:
+                self._respawn(home)
+                continue
+            if state is None:  # pragma: no cover - protocol invariant
+                continue
+            if self._m_apply is not None:
+                self._m_apply.labels(shard=home).observe(time.perf_counter() - began)
+            self._local[home] = state.community
+            self._benign_pending[home] = state.pending
+            if stats is not None:
+                stats.merge(state.stats)
+
+    def _respawn(self, home: int) -> None:
+        """Respawn one shard from a fresh partition of the mirror.
+
+        The mirror is updated *before* any dispatch, so the rebuilt shard
+        already reflects whatever slice the dead worker never applied —
+        including any still-parked updates homed there, which are
+        therefore dropped from the queue instead of double-applied.
+        """
+        self.worker_restarts[home] += 1
+        if self._m_restarts is not None:
+            self._m_restarts.labels(shard=home).inc()
+        self._workers[home].destroy()
+        if self._pending:
+            kept = [u for u in self._pending if self.router.shard_of(u.src) != home]
+            if len(kept) != len(self._pending):
+                self._pending = kept
+                self._pending_has_delete = any(u.delete for u in kept)
+        self._parked_by_home[home] = 0
+        if self._m_queue is not None:
+            self._m_queue.labels(shard=home).set(0)
+        worker = ShardWorker(
+            home, self._staging, self._semantics.name, self._edge_grouping, self.backend
+        )
+        worker.spawn()
+        worker.post_load(self._build_shard_graph(home))
+        state = worker.collect(self._load_timeout)
+        assert state is not None
+        worker.discard_snapshot()
+        self._workers[home] = worker
+        self._local[home] = state.community
+        self._benign_pending[home] = state.pending
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def _stop_workers(self) -> None:
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def close(self) -> None:
+        """Stop every worker and remove the snapshot staging directory."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_workers()
+        shutil.rmtree(self._staging, ignore_errors=True)
+
+    def __enter__(self) -> "WorkerEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pids = [worker.pid for worker in self._workers]
+        return (
+            f"WorkerEngine(semantics={self._semantics.name}, backend={self.backend}, "
+            f"shards={self._num_shards}, pids={pids}, restarts={self.worker_restarts})"
+        )

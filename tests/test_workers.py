@@ -1,0 +1,337 @@
+"""Tests for process-resident shard workers (``repro.serve.workers``).
+
+The tentpole guarantees under test:
+
+* the worker-mode engine answers **bit-identically** to the in-process
+  sharded engine (per update) and to a single engine (merged detection),
+* a ``kill -9``'d worker is respawned from the coordinator mirror and the
+  stream continues with exact answers,
+* the router's partition is balanced (the hash does not clump consecutive
+  or randomly sampled dense ids),
+* the labeled metric families and the ``workers`` config knob behave.
+
+Worker engines spawn real processes; the suite keeps worker counts at 2
+and workloads small so the whole file stays cheap on one core.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+import pytest
+
+from repro.core.reorder import ReorderStats
+from repro.core.spade import Spade
+from repro.engine.parallel import _staged_path
+from repro.engine.router import ShardRouter
+from repro.engine.sharded import ShardedSpade
+from repro.engine.worker import (
+    decode_state,
+    decode_update,
+    encode_update,
+    preweighted_semantics,
+)
+from repro.errors import ConfigError
+from repro.graph.backend import create_graph
+from repro.graph.delta import EdgeUpdate
+from repro.peeling.semantics import dw_semantics
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
+from repro.serve.workers import WorkerEngine
+
+
+@pytest.fixture(autouse=True)
+def _single_backend_leg(graph_backend):
+    if graph_backend != "array":
+        pytest.skip("workers pin backend='array'; one leg is enough")
+
+
+def assert_same_view(got, expected):
+    """Shard-local views must match up to float accumulation order.
+
+    Worker shards boot from the ``.npz`` snapshot rebuild, whose Kahn
+    merge preserves both pool orders but not their *interleaving* — so
+    the per-vertex incident-weight accumulator can differ from the
+    in-process shard's by an ulp.  Membership and peel position must be
+    identical; density is compared to 1e-12 relative.  (Merged
+    ``detect()`` peels the coordinator mirror and stays bit-identical —
+    asserted with ``==`` throughout.)
+    """
+    assert got.vertices == expected.vertices
+    assert got.peel_index == expected.peel_index
+    assert got.density == pytest.approx(expected.density, rel=1e-12)
+
+
+def _workload(seed: int, initial: int = 250, streamed: int = 160):
+    # Dyadic weights (k/16) keep every accumulation exact in binary FP,
+    # so differential comparisons can demand bit identity (the suite-wide
+    # idiom of ``tests/test_sharded.py``'s dyadic streams).
+    rng = random.Random(seed)
+    edges = [
+        (f"u{rng.randrange(40)}", f"p{rng.randrange(30)}", rng.randrange(8, 49) / 16.0)
+        for _ in range(initial)
+    ]
+    updates = [
+        (f"u{rng.randrange(55)}", f"p{rng.randrange(40)}", rng.randrange(8, 49) / 16.0)
+        for _ in range(streamed)
+    ]
+    return edges, updates
+
+
+class TestShardRouterBalance:
+    """The multiplicative hash spreads dense ids evenly across shards."""
+
+    @pytest.mark.parametrize("num_shards", [2, 4, 8])
+    def test_consecutive_ids_are_near_uniform(self, num_shards):
+        router = ShardRouter.__new__(ShardRouter)
+        router.num_shards = num_shards
+        total = 20000
+        counts = [0] * num_shards
+        for vid in range(total):
+            counts[router.shard_of_id(vid)] += 1
+        expected = total / num_shards
+        # Pearson chi-square against uniform; p=0.001 critical values are
+        # 10.8 (df=1), 16.3 (df=3), 24.3 (df=7) — a clumping hash (e.g.
+        # ``vid % k`` over strided cohorts) blows straight past these.
+        chi2 = sum((count - expected) ** 2 / expected for count in counts)
+        assert chi2 < 24.3
+        assert max(counts) - min(counts) <= 0.02 * expected
+
+    @pytest.mark.parametrize("num_shards", [4, 8])
+    def test_random_id_subsets_stay_balanced(self, num_shards):
+        # Active-vertex sets are arbitrary subsets of the id space, not
+        # prefixes; the partition must stay balanced on those too.
+        router = ShardRouter.__new__(ShardRouter)
+        router.num_shards = num_shards
+        rng = random.Random(1234)
+        sample = rng.sample(range(10**6), 8000)
+        counts = [0] * num_shards
+        for vid in sample:
+            counts[router.shard_of_id(vid)] += 1
+        expected = len(sample) / num_shards
+        chi2 = sum((count - expected) ** 2 / expected for count in counts)
+        assert chi2 < 24.3
+
+
+class TestWireProtocol:
+    def test_update_row_round_trip(self):
+        update = EdgeUpdate("a", "b", 2.5, src_weight=1.0, dst_weight=None)
+        assert decode_update(encode_update(update)) == update
+
+    def test_state_payload_round_trip(self):
+        payload = {
+            "community": ["a", "b"],
+            "density": 1.5,
+            "peel_index": 3,
+            "stats": (1, 2, 3, 4, 5, 6),
+            "pending": 7,
+        }
+        state = decode_state(payload)
+        assert state.community.vertices == frozenset({"a", "b"})
+        assert state.community.density == 1.5
+        assert state.community.peel_index == 3
+        assert state.pending == 7
+        assert state.stats.queued_vertices == 1
+        assert state.stats.repeeled_positions == 6
+
+    def test_preweighted_semantics_is_identity(self):
+        semantics = preweighted_semantics("DW")
+        graph = create_graph("array")
+        assert semantics.name == "DW"
+        assert semantics.edge_weight("a", "b", 2.25, graph) == 2.25
+
+
+class TestWorkerEngineDifferential:
+    """Worker-mode answers == in-process sharded answers == single detect."""
+
+    def test_mixed_stream_is_bit_identical(self):
+        edges, updates = _workload(11)
+        single = Spade(dw_semantics())
+        single.load_edges(edges)
+        inproc = ShardedSpade(dw_semantics(), num_shards=2, coordinator_interval=16)
+        inproc.load_edges(edges)
+        with WorkerEngine(
+            dw_semantics(), num_shards=2, coordinator_interval=16
+        ) as workers:
+            workers.load_edges(edges)
+            for index, (src, dst, weight) in enumerate(updates):
+                if index % 4 == 3:
+                    batch = [(src, dst, weight), (dst + "x", src, 1.0)]
+                    single.insert_batch_edges(batch)
+                    expected = inproc.insert_batch_edges(batch)
+                    got = workers.insert_batch_edges(batch)
+                else:
+                    single.insert_edge(src, dst, weight)
+                    expected = inproc.insert_edge(src, dst, weight)
+                    got = workers.insert_edge(src, dst, weight)
+                assert_same_view(got, expected)
+                if index % 29 == 0:
+                    single.delete_edges([(src, dst)])
+                    expected = inproc.delete_edges([(src, dst)])
+                    got = workers.delete_edges([(src, dst)])
+                    assert_same_view(got, expected)
+            assert workers.detect() == single.detect()
+            assert workers.detect() == inproc.detect()
+            for got, expected in zip(
+                workers.shard_communities(), inproc.shard_communities()
+            ):
+                assert_same_view(got, expected)
+            assert workers.worker_restarts == [0, 0]
+            assert isinstance(workers.last_stats, ReorderStats)
+
+    def test_flush_and_pending_surfaces(self):
+        edges, updates = _workload(23, initial=120, streamed=40)
+        inproc = ShardedSpade(dw_semantics(), num_shards=2, coordinator_interval=10**6)
+        inproc.load_edges(edges)
+        with WorkerEngine(
+            dw_semantics(), num_shards=2, coordinator_interval=10**6
+        ) as workers:
+            workers.load_edges(edges)
+            for src, dst, weight in updates:
+                expected = inproc.insert_edge(src, dst, weight)
+                assert_same_view(workers.insert_edge(src, dst, weight), expected)
+            assert workers.pending_edges() == inproc.pending_edges()
+            assert_same_view(workers.flush_pending(), inproc.flush_pending())
+            assert workers.pending_edges() == 0
+
+
+class TestWorkerCrashRecovery:
+    """SIGKILL a worker mid-stream: respawn from the mirror, stay exact."""
+
+    def test_kill_minus_nine_respawns_bit_identical(self):
+        edges, updates = _workload(31)
+        single = Spade(dw_semantics())
+        single.load_edges(edges)
+        with WorkerEngine(
+            dw_semantics(), num_shards=2, coordinator_interval=16
+        ) as workers:
+            workers.load_edges(edges)
+            half = len(updates) // 2
+            for src, dst, weight in updates[:half]:
+                single.insert_edge(src, dst, weight)
+                workers.insert_edge(src, dst, weight)
+            victim = workers.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            for src, dst, weight in updates[half:]:
+                single.insert_edge(src, dst, weight)
+                workers.insert_edge(src, dst, weight)
+            assert workers.worker_restarts[0] == 1
+            assert workers.worker_restarts[1] == 0
+            assert workers.worker_pids()[0] != victim
+            assert workers.detect() == single.detect()
+
+    def test_kill_with_parked_updates_does_not_double_apply(self):
+        # A huge coordinator interval keeps cross-shard updates parked;
+        # the respawn must drop the dead shard's parked slice (the mirror
+        # already holds those updates) or the drain would apply them twice.
+        edges, updates = _workload(47, initial=150, streamed=60)
+        single = Spade(dw_semantics())
+        single.load_edges(edges)
+        with WorkerEngine(
+            dw_semantics(), num_shards=2, coordinator_interval=10**6
+        ) as workers:
+            workers.load_edges(edges)
+            for src, dst, weight in updates:
+                single.insert_edge(src, dst, weight)
+                workers.insert_edge(src, dst, weight)
+            os.kill(workers.worker_pids()[1], signal.SIGKILL)
+            # Next intra-shard dispatch on shard 1 notices the corpse.
+            for src, dst, weight in updates[:20]:
+                single.insert_edge(src, dst, weight * 1.5)
+                workers.insert_edge(src, dst, weight * 1.5)
+            assert sum(workers.worker_restarts) >= 1
+            assert workers.detect() == single.detect()
+
+
+class TestWorkerMetrics:
+    def test_per_shard_metrics_exported(self):
+        registry = MetricsRegistry()
+        edges, updates = _workload(5, initial=100, streamed=30)
+        with WorkerEngine(
+            dw_semantics(), num_shards=2, coordinator_interval=8, metrics=registry
+        ) as workers:
+            workers.load_edges(edges)
+            for src, dst, weight in updates:
+                workers.insert_edge(src, dst, weight)
+            os.kill(workers.worker_pids()[0], signal.SIGKILL)
+            for src, dst, weight in updates:
+                workers.insert_edge(src, dst, weight * 1.1)
+            workers.detect()
+            text = registry.render()
+        assert 'repro_worker_apply_seconds_count{shard="0"}' in text
+        assert 'repro_worker_apply_seconds_count{shard="1"}' in text
+        assert 'repro_worker_restarts_total{shard="0"} 1' in text
+        assert 'repro_worker_queue_depth{shard="0"}' in text
+        assert text.count("# TYPE repro_worker_apply_seconds histogram") == 1
+
+
+class TestMetricFamilies:
+    """The labeled child-metric model of ``repro.serve.metrics``."""
+
+    def test_family_children_render_under_one_header(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", "jobs", labelnames=("shard",))
+        family.labels(shard=0).inc()
+        family.labels(shard=1).inc(2)
+        family.labels(shard=0).inc()
+        text = registry.render()
+        assert text.count("# HELP jobs_total jobs") == 1
+        assert 'jobs_total{shard="0"} 2' in text
+        assert 'jobs_total{shard="1"} 2' in text
+
+    def test_histogram_family_merges_le_label(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "batch_edges", "edges", buckets=SIZE_BUCKETS, labelnames=("shard",)
+        )
+        family.labels(shard=3).observe(2)
+        text = registry.render()
+        assert 'batch_edges_bucket{shard="3",le="2"} 1' in text
+        assert 'batch_edges_bucket{shard="3",le="+Inf"} 1' in text
+        assert 'batch_edges_sum{shard="3"} 2' in text
+
+    def test_wrong_label_names_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("depth", "d", labelnames=("shard",))
+        with pytest.raises(ValueError):
+            family.labels(worker=1)
+
+
+class TestServeConfigWorkers:
+    def test_workers_knob_round_trips(self):
+        config = ServeConfig(workers=4)
+        assert ServeConfig.from_dict(config.to_dict()) == config
+        assert config.replace(workers=0).workers == 0
+
+    @pytest.mark.parametrize("bad", [-1, 65])
+    def test_workers_out_of_range_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            ServeConfig(workers=bad)
+
+    def test_cli_workers_override(self):
+        from repro.serve.cli import build_parser, _resolve_config
+
+        args = build_parser().parse_args(["--workers", "4", "--port", "0"])
+        config = _resolve_config(args)
+        assert config.serve.workers == 4
+        assert config.serve.port == 0
+
+
+class TestParallelSnapshotCache:
+    """Unchanged graphs reuse their staged ``.npz`` between calls."""
+
+    def test_unchanged_graph_skips_resave(self):
+        graph = create_graph("array")
+        graph.add_vertex("a", 1.0)
+        graph.add_vertex("b", 1.0)
+        graph.add_edge("a", "b", 2.0)
+        first = _staged_path(graph, graph.freeze())
+        mtime = os.path.getmtime(first)
+        again = _staged_path(graph, graph.freeze())
+        assert again == first
+        assert os.path.getmtime(first) == mtime
+        graph.add_edge("b", "a", 1.0)
+        changed = _staged_path(graph, graph.freeze())
+        assert changed != first
