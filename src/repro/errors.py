@@ -83,6 +83,32 @@ class StorageError(ReproError):
     """A dataset or snapshot could not be read or written."""
 
 
+class DegradedError(ReproError):
+    """The serving layer is in read-only degraded mode.
+
+    Raised by the ingest gateway while the write-ahead log cannot accept
+    appends (disk full, I/O errors): writes are refused — the HTTP layer
+    answers ``503`` with ``Retry-After`` — while snapshot reads keep
+    serving at the last durable version.  Carries the ``reason`` the
+    degradation began; an auto-probe re-enters read-write once the WAL
+    directory accepts writes again.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"serving degraded to read-only: {reason}")
+        self.reason = reason
+
+
+class WorkerFallbackError(ReproError):
+    """A shard worker could not be (re)spawned into a usable state.
+
+    Raised by the worker engine's boot/respawn path when a worker dies
+    or times out before acknowledging its state load.  The respawn loop
+    retries within its budget; exhausting the budget triggers fallback
+    to the in-process engine rather than crashing the coordinator.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
 

@@ -10,7 +10,9 @@ store, ingest gateway and snapshot service around one shared
 ==========================  =====================================================
 ``POST /v1/edges``          single event or bulk ``{"edges": [...]}`` ingest;
                             micro-batched, durable before ack; ``429`` +
-                            ``Retry-After`` under backpressure
+                            ``Retry-After`` under backpressure; ``503`` +
+                            ``Retry-After`` while read-only degraded (WAL
+                            unwritable — reads keep serving)
 ``POST /v1/flush``          force-flush deferred work (ordering barrier)
 ``GET /v1/detect``          exact detection from the current snapshot
 ``GET /v1/communities``     dense instances, ``offset``/``limit`` paginated
@@ -34,7 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro._version import __version__
 from repro.api.config import EngineConfig
-from repro.errors import ReproError
+from repro.errors import DegradedError, ReproError
 from repro.graph.delta import EdgeUpdate
 from repro.peeling.semantics import PeelingSemantics
 from repro.serve.config import ServeConfig
@@ -178,11 +180,26 @@ class ServeApp:
         self._m_edges = self.metrics.gauge(
             "repro_graph_edges", "Unique directed edges in the live graph"
         )
+        self._m_checkpoint_fallbacks = self.metrics.counter(
+            "repro_checkpoint_fallbacks_total",
+            "Corrupt/unloadable checkpoints skipped in favor of an older one",
+        )
+
+        # --- fault injection (chaos testing only) --------------------- #
+        self._injector = None
+        if self.serve_config.faults is not None:
+            from repro.serve.faults import FaultInjector, FaultPlan
+
+            self._injector = FaultInjector(FaultPlan.from_file(self.serve_config.faults))
 
         # --- engine (recover or fresh boot) --------------------------- #
         recovered = recover(config, semantics=semantics, initial_edges=initial_edges)
         self.client = recovered.client
         self.recovered_ops = recovered.replayed_ops
+        self.wal_corruption = recovered.wal_corruption
+        self.checkpoint_fallbacks = recovered.checkpoint_fallbacks
+        self.checkpoint_errors = 0
+        self._m_checkpoint_fallbacks.inc(recovered.checkpoint_fallbacks)
         self._worker_engine: Optional["WorkerEngine"] = None
         if self.serve_config.workers > 1:
             # Multi-core serving: recovery rebuilt the exact single-engine
@@ -201,6 +218,7 @@ class ServeApp:
                 backend=self.client.backend,
                 coordinator_interval=config.coordinator_interval,
                 metrics=self.metrics,
+                injector=self._injector,
             )
             engine.load_graph(self.client.graph)
             self.client = SpadeClient.wrap(engine)
@@ -212,12 +230,15 @@ class ServeApp:
         self._wal: Optional[WriteAheadLog] = None
         self._checkpoints: Optional[CheckpointStore] = None
         if self.serve_config.wal_dir is not None:
-            self._checkpoints = CheckpointStore(self.serve_config.wal_dir)
+            self._checkpoints = CheckpointStore(
+                self.serve_config.wal_dir, injector=self._injector
+            )
             self._wal = WriteAheadLog(
                 self.serve_config.wal_dir,
                 fsync=self.serve_config.fsync,
                 next_seq=recovered.wal_seq + 1,
                 truncate_at=recovered.wal_offset,
+                injector=self._injector,
             )
             if recovered.wal_seq == 0 and recovered.wal_offset == 0:
                 # First boot: cut checkpoint zero so recovery never needs
@@ -233,6 +254,11 @@ class ServeApp:
             wal=self._wal,
             checkpoint=self._cut_checkpoint if self._checkpoints is not None else None,
         )
+        if recovered.wal_corruption is not None:
+            # The recovery scan dropped a corrupt WAL suffix — count it
+            # (the gateway registered the family) and let /healthz carry
+            # the reason so the truncation is reported, never silent.
+            self.metrics.get("repro_wal_errors_total").inc()
         self._initial_seq = recovered.wal_seq
         self.server = HttpServer(
             self._handle,
@@ -245,9 +271,18 @@ class ServeApp:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def _cut_checkpoint(self, wal_seq: int, wal_offset: int) -> None:
-        """Freeze the engine graph and persist a checkpoint (writer-held)."""
+        """Freeze the engine graph and persist a checkpoint (writer-held).
+
+        A checkpoint that cannot be written (disk full — injected or
+        real) is skipped rather than failing the commit: the WAL already
+        holds the full history, so the only cost is a longer replay until
+        a later interval succeeds.
+        """
         assert self._checkpoints is not None
-        self._checkpoints.save(self.client.snapshot(), wal_seq, wal_offset)
+        try:
+            self._checkpoints.save(self.client.snapshot(), wal_seq, wal_offset)
+        except OSError:
+            self.checkpoint_errors += 1
 
     async def start(self) -> None:
         """Start the writer task and the HTTP listener; publish runinfo."""
@@ -299,6 +334,8 @@ class ServeApp:
             if path.startswith("/v1/vertices/"):
                 self._require(request, "GET")
                 return await self._handle_vertex(request, path[len("/v1/vertices/"):])
+        except DegradedError as exc:
+            raise self._degraded_http(exc) from exc
         except ReproError as exc:
             raise HttpError(400, str(exc)) from exc
         raise HttpError(404, f"no route for {request.method} {request.path}")
@@ -342,8 +379,20 @@ class ServeApp:
     async def _handle_flush(self, request: Request) -> Response:
         return await self._submit("flush", (), 0)
 
+    def _degraded_http(self, exc: DegradedError) -> HttpError:
+        """Map read-only degraded mode to ``503`` + ``Retry-After``."""
+        retry_after = max(1, round(self.serve_config.probe_interval_ms / 1000.0))
+        return HttpError(
+            503,
+            str(exc),
+            headers={"Retry-After": str(retry_after)},
+        )
+
     async def _submit(self, kind: str, updates: Sequence, edges: int) -> Response:
-        future = self.gateway.submit(kind, updates, edges)
+        try:
+            future = self.gateway.submit(kind, updates, edges)
+        except DegradedError as exc:
+            raise self._degraded_http(exc) from exc
         if future is None:
             retry_after = max(1, int(self.serve_config.max_delay_ms / 1000.0) + 1)
             raise HttpError(
@@ -351,7 +400,13 @@ class ServeApp:
                 "ingest queue is full",
                 headers={"Retry-After": str(retry_after)},
             )
-        result = await future
+        try:
+            result = await future
+        except DegradedError as exc:
+            # The window this submission rode in hit a WAL append failure:
+            # nothing of it was acked or made durable, so 503 + retry is
+            # the truthful answer while reads keep serving.
+            raise self._degraded_http(exc) from exc
         if "error" in result:
             # The operation was durably logged but deterministically
             # rejected by the engine (e.g. deleting an unknown edge).
@@ -396,7 +451,7 @@ class ServeApp:
     async def _handle_health(self, request: Request) -> Response:
         graph = self.client.graph
         payload = {
-            "status": "ok",
+            "status": "degraded" if self.gateway.degraded else "ok",
             "version": self.service.version,
             "vertices": graph.num_vertices(),
             "edges": graph.num_edges(),
@@ -408,11 +463,22 @@ class ServeApp:
             "recovered_ops": self.recovered_ops,
             "library_version": __version__,
         }
+        if self.gateway.degraded:
+            payload["degraded_reason"] = self.gateway.degraded_reason
+        if self.wal_corruption is not None:
+            payload["wal_corruption"] = self.wal_corruption
+        if self.checkpoint_fallbacks:
+            payload["checkpoint_fallbacks"] = self.checkpoint_fallbacks
+        if self.checkpoint_errors:
+            payload["checkpoint_errors"] = self.checkpoint_errors
+        payload["wal_errors"] = int(self.metrics.get("repro_wal_errors_total").value)
         if self._worker_engine is not None:
             payload["workers"] = {
                 "count": self._worker_engine.num_shards,
                 "pids": self._worker_engine.worker_pids(),
                 "restarts": list(self._worker_engine.worker_restarts),
+                "fallback": self._worker_engine.fallback,
+                "fallback_reason": self._worker_engine.fallback_reason,
             }
         return json_response(200, payload)
 

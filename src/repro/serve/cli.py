@@ -55,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-resident shard workers (>= 2 enables multi-core ingest; 0 = in-process)",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection plan JSON (repro.serve.faults) — chaos testing only",
+    )
+    parser.add_argument(
         "--load",
         type=Path,
         default=None,
@@ -92,6 +97,8 @@ def _resolve_config(args: argparse.Namespace) -> EngineConfig:
         overrides["fsync"] = False
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.faults is not None:
+        overrides["faults"] = args.faults
     if overrides:
         serve = serve.replace(**overrides)
     return config.replace(serve=serve)

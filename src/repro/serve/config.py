@@ -68,6 +68,16 @@ class ServeConfig:
         detections stay bit-identical to a single engine.  Supersedes the
         engine-level ``shards`` knob for the served deployment (the
         workers *are* the shards).
+    probe_interval_ms:
+        While ingest is read-only degraded (WAL append failed), how often
+        the background probe re-tests the WAL directory for writability
+        before re-entering read-write mode.
+    faults:
+        Path to a fault-injection plan JSON (``repro.serve.faults``), or
+        ``None`` (the production default).  When set, the deployment's
+        WAL appends, checkpoint saves, and worker pipes run through a
+        deterministic :class:`~repro.serve.faults.FaultInjector` — the
+        chaos-testing hook behind ``--faults`` and the CI chaos smoke.
     """
 
     host: str = "127.0.0.1"
@@ -80,6 +90,8 @@ class ServeConfig:
     checkpoint_interval: int = 10000
     max_body_bytes: int = 8 * 1024 * 1024
     workers: int = 0
+    probe_interval_ms: float = 200.0
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.host, str) or not self.host:
@@ -104,6 +116,14 @@ class ServeConfig:
             )
         if not 0 <= int(self.workers) <= 64:
             raise ConfigError(f"workers must be in [0, 64], got {self.workers}")
+        if self.probe_interval_ms <= 0:
+            raise ConfigError(
+                f"probe_interval_ms must be > 0, got {self.probe_interval_ms}"
+            )
+        if self.faults is not None and not isinstance(self.faults, str):
+            raise ConfigError(
+                f"faults must be a fault-plan path or None, got {self.faults!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Round-tripping (mirrors EngineConfig's contract)

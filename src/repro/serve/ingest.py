@@ -23,6 +23,20 @@ kill-and-restart tests exercise.
 Backpressure is explicit: a full queue makes :meth:`IngestGateway.submit`
 return ``None`` and the HTTP layer answers ``429`` with ``Retry-After``
 instead of growing an unbounded buffer in front of a saturated engine.
+
+Degraded read-only mode
+-----------------------
+A WAL append that fails with ``OSError`` (disk full, EIO — injected or
+real) can never be acknowledged, so the gateway flips into **read-only
+degraded mode**: the in-flight window's waiters fail with
+:class:`~repro.errors.DegradedError` (the HTTP layer answers ``503``
+with ``Retry-After``), new submissions are refused immediately, and
+snapshot reads keep serving at the last durable version — safe because
+the WAL append *precedes* the engine apply, so served state never ran
+ahead of the log.  A background probe re-tests the WAL directory every
+``probe_interval_ms`` and re-enters read-write the moment an fsynced
+probe write succeeds.  ``repro_degraded_mode`` (gauge) and
+``repro_wal_errors_total`` (counter) expose the state.
 """
 
 from __future__ import annotations
@@ -33,7 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.client import SpadeClient
 from repro.api.events import Delete, Event, Flush, InsertBatch
-from repro.errors import ReproError
+from repro.errors import DegradedError, ReproError
 from repro.graph.delta import EdgeUpdate
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
@@ -85,6 +99,9 @@ class IngestGateway:
         self._task: Optional["asyncio.Task[None]"] = None
         self._seq = 0
         self._edges_since_checkpoint = 0
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._probe_task: Optional["asyncio.Task[None]"] = None
 
         self._m_accepted = metrics.counter(
             "repro_ingest_events_accepted_total", "Edges accepted (acknowledged)"
@@ -114,6 +131,14 @@ class IngestGateway:
         self._m_depth = metrics.gauge(
             "repro_ingest_queue_depth", "Submissions waiting in the ingest queue"
         )
+        self._m_degraded = metrics.gauge(
+            "repro_degraded_mode",
+            "1 while ingest is read-only degraded (WAL unwritable), else 0",
+        )
+        self._m_wal_errors = metrics.counter(
+            "repro_wal_errors_total",
+            "WAL append failures and corrupt records dropped at recovery",
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -123,6 +148,16 @@ class IngestGateway:
         """WAL sequence of the last committed operation."""
         return self._seq
 
+    @property
+    def degraded(self) -> bool:
+        """True while ingest is refusing writes (read-only degraded mode)."""
+        return self._degraded
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Why ingest degraded, or ``None`` while read-write."""
+        return self._degraded_reason
+
     def start(self, initial_seq: int = 0) -> None:
         """Start the writer task; ``initial_seq`` resumes a recovered WAL."""
         self._seq = initial_seq
@@ -131,6 +166,13 @@ class IngestGateway:
 
     async def stop(self) -> None:
         """Drain the queue, commit what is pending, stop the writer."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
         if self._task is None:
             return
         await self._queue.join()
@@ -147,7 +189,13 @@ class IngestGateway:
     def submit(
         self, kind: str, updates: Sequence, edges: int
     ) -> Optional["asyncio.Future[Dict[str, object]]"]:
-        """Enqueue one write request; ``None`` means full (answer 429)."""
+        """Enqueue one write request; ``None`` means full (answer 429).
+
+        Raises :class:`~repro.errors.DegradedError` while ingest is
+        read-only degraded (the HTTP layer answers 503).
+        """
+        if self._degraded:
+            raise DegradedError(self._degraded_reason or "WAL unwritable")
         future: "asyncio.Future[Dict[str, object]]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -250,6 +298,14 @@ class IngestGateway:
         return ops
 
     async def _commit_window(self, window: List[Submission]) -> None:
+        if self._degraded:
+            # Fail fast: submissions that raced into the queue before the
+            # degradation flag flipped must not touch the failing WAL.
+            error = DegradedError(self._degraded_reason or "WAL unwritable")
+            for submission in window:
+                if not submission.future.done():
+                    submission.future.set_exception(error)
+            return
         ops = self._coalesce(window)
         began = time.perf_counter()
         try:
@@ -257,6 +313,17 @@ class IngestGateway:
                 results = await asyncio.get_running_loop().run_in_executor(
                     None, self._commit_sync, ops
                 )
+        except DegradedError as exc:
+            # The WAL refused an append: everything committed before the
+            # failure is durable and applied (publish its version); the
+            # rest of the window was never acked.  Enter read-only mode
+            # and start probing for the disk to come back.
+            self._service.advance(self._seq)
+            self._enter_degraded(exc.reason)
+            for submission in window:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+            return
         except Exception as exc:  # engine/WAL failure: fail the waiters
             # Ops earlier in the window may have committed before the
             # failure advanced past them — publish their version so reads
@@ -276,6 +343,39 @@ class IngestGateway:
                     submission.future.set_result(dict(result))
         self._m_accepted.inc(sum(s.edges for s in window))
 
+    # ------------------------------------------------------------------ #
+    # Degraded read-only mode
+    # ------------------------------------------------------------------ #
+    def _enter_degraded(self, reason: str) -> None:
+        if self._degraded:
+            return
+        self._degraded = True
+        self._degraded_reason = reason
+        self._m_degraded.set(1)
+        self._probe_task = asyncio.get_running_loop().create_task(self._probe_loop())
+
+    def _exit_degraded(self) -> None:
+        self._degraded = False
+        self._degraded_reason = None
+        self._m_degraded.set(0)
+        self._probe_task = None
+
+    async def _probe_loop(self) -> None:
+        """Re-test the WAL directory until a durable write succeeds again."""
+        interval = self._config.probe_interval_ms / 1000.0
+        loop = asyncio.get_running_loop()
+        while self._degraded:
+            await asyncio.sleep(interval)
+            if self._wal is None:
+                break
+            try:
+                async with self._lock:
+                    await loop.run_in_executor(None, self._wal.probe)
+            except OSError:
+                continue
+            self._exit_degraded()
+            return
+
     def _commit_sync(
         self, ops: List[Tuple[Event, List[Submission]]]
     ) -> List[Dict[str, object]]:
@@ -285,7 +385,14 @@ class IngestGateway:
             seq = self._seq + 1
             if self._wal is not None:
                 wal_began = time.perf_counter()
-                seq, offset = self._wal.append_op(op)
+                try:
+                    seq, offset = self._wal.append_op(op)
+                except OSError as exc:
+                    # Disk full / EIO: nothing durable was added (the WAL
+                    # discards partial bytes), so this op and everything
+                    # behind it in the window must not be applied or acked.
+                    self._m_wal_errors.inc()
+                    raise DegradedError(f"WAL append failed: {exc}") from exc
                 self._m_fsync.observe(time.perf_counter() - wal_began)
             else:
                 offset = 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from collections import deque
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -37,7 +38,7 @@ from repro.errors import ReproError, StorageError
 from repro.graph.backend import create_graph
 from repro.graph.csr import CsrSnapshot
 from repro.peeling.semantics import PeelingSemantics
-from repro.serve.wal import WriteAheadLog, read_ops
+from repro.serve.wal import WriteAheadLog, scan_ops
 
 __all__ = [
     "CheckpointStore",
@@ -134,24 +135,50 @@ def graph_from_snapshot(snapshot: CsrSnapshot, backend: str = "array"):
     return graph
 
 
+def _file_crc(path: PathLike) -> Tuple[int, int]:
+    """``(crc32, size)`` of a file's bytes, streamed."""
+    crc = 0
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+            size += len(chunk)
+    return crc, size
+
+
 class CheckpointStore:
     """Filesystem layout and lifecycle of ``.npz`` snapshot checkpoints.
 
     A checkpoint is a pair of files inside ``wal_dir``::
 
         checkpoint-<seq>.npz    the CsrSnapshot payload
-        checkpoint-<seq>.json   {"wal_seq": n, "wal_offset": bytes, ...}
+        checkpoint-<seq>.json   {"wal_seq": n, "wal_offset": bytes,
+                                 "payload_crc": c, "payload_bytes": b, ...}
 
-    The sidecar is written *after* the payload and fsynced, so a crash
-    between the two leaves a payload without a sidecar — which
-    :meth:`latest` simply ignores.  Only the newest ``keep`` checkpoints
-    are retained.
+    The payload is written atomically (``checkpoint-<seq>.tmp.npz`` +
+    fsync + ``os.replace``, matching the sidecar's discipline) and the
+    sidecar — written *after* the payload, fsynced — records the
+    payload's CRC32 and size.  A crash between the two leaves a payload
+    without a sidecar, which :meth:`latest` simply ignores; a payload
+    whose bytes no longer match its sidecar (torn sector, truncation,
+    bit rot) or that fails to load is **skipped** with a note in
+    :attr:`fallbacks`, so recovery falls back to the previous complete
+    checkpoint and a longer WAL replay instead of crashing.  Only the
+    newest ``keep`` checkpoints are retained.
     """
 
-    def __init__(self, wal_dir: PathLike, keep: int = 2) -> None:
+    def __init__(
+        self, wal_dir: PathLike, keep: int = 2, injector: Optional[object] = None
+    ) -> None:
         self._dir = Path(wal_dir)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._keep = max(1, int(keep))
+        self._injector = injector
+        #: Human-readable reasons for every checkpoint :meth:`latest` skipped.
+        self.fallbacks: List[str] = []
 
     @property
     def directory(self) -> Path:
@@ -166,24 +193,44 @@ class CheckpointStore:
     def save(self, snapshot: CsrSnapshot, wal_seq: int, wal_offset: int) -> Path:
         """Persist one checkpoint covering the WAL up to ``wal_seq``."""
         payload = self._payload_path(wal_seq)
-        snapshot.save(payload)
+        # The tmp name must keep the .npz suffix: np.savez appends it to
+        # suffix-less paths, and os.replace needs the exact written name.
+        tmp = self._dir / f"checkpoint-{wal_seq:012d}.tmp.npz"
+        try:
+            snapshot.save(tmp)
+            # CRC over the bytes as written; an injected truncation below
+            # happens *after* this, modelling a torn write the sidecar's
+            # checksum is there to catch at load time.
+            payload_crc, payload_bytes = _file_crc(tmp)
+            if self._injector is not None:
+                self._injector.on_checkpoint_payload(tmp)  # type: ignore[attr-defined]
+            with tmp.open("rb+") as handle:
+                os.fsync(handle.fileno())
+            os.replace(tmp, payload)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         meta = {
             "wal_seq": int(wal_seq),
             "wal_offset": int(wal_offset),
             "num_vertices": snapshot.num_vertices,
             "num_edges": snapshot.num_edges,
+            "payload_crc": payload_crc,
+            "payload_bytes": payload_bytes,
         }
         meta_path = self._meta_path(wal_seq)
-        tmp = meta_path.with_suffix(".json.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
+        tmp_meta = meta_path.with_suffix(".json.tmp")
+        with tmp_meta.open("w", encoding="utf-8") as handle:
             json.dump(meta, handle)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp, meta_path)
+        os.replace(tmp_meta, meta_path)
         self._prune()
         return payload
 
     def _prune(self) -> None:
+        for stray in self._dir.glob("checkpoint-*.tmp.npz"):
+            stray.unlink(missing_ok=True)
         complete = sorted(
             meta for meta in self._dir.glob("checkpoint-*.json")
             if meta.with_suffix(".npz").exists()
@@ -193,7 +240,15 @@ class CheckpointStore:
             meta.unlink(missing_ok=True)
 
     def latest(self) -> Optional[Tuple[CsrSnapshot, Dict[str, int]]]:
-        """Load the newest complete checkpoint, or ``None`` when fresh."""
+        """Load the newest *verifiable* checkpoint, or ``None`` when fresh.
+
+        Walks checkpoints newest-first; a payload whose CRC/size disagrees
+        with its sidecar, or that fails to deserialise, is skipped (reason
+        appended to :attr:`fallbacks`) and the previous one is tried —
+        recovery then replays a longer WAL suffix instead of dying.
+        Sidecars without ``payload_crc`` (pre-checksum format) load
+        unchecked, so old checkpoint directories still recover.
+        """
         metas = sorted(self._dir.glob("checkpoint-*.json"), reverse=True)
         for meta_path in metas:
             payload = meta_path.with_suffix(".npz")
@@ -201,15 +256,48 @@ class CheckpointStore:
                 continue
             with meta_path.open("r", encoding="utf-8") as handle:
                 meta = json.load(handle)
-            snapshot = CsrSnapshot.load(payload)
+            expected_crc = meta.get("payload_crc")
+            if expected_crc is not None:
+                actual_crc, actual_bytes = _file_crc(payload)
+                if (
+                    actual_crc != expected_crc
+                    or actual_bytes != meta.get("payload_bytes", actual_bytes)
+                ):
+                    self.fallbacks.append(
+                        f"{payload.name}: payload checksum mismatch "
+                        f"({actual_bytes} bytes, crc {actual_crc} != {expected_crc})"
+                    )
+                    continue
+            try:
+                snapshot = CsrSnapshot.load(payload)
+            except Exception as exc:  # zipfile/numpy raise a zoo of types
+                self.fallbacks.append(f"{payload.name}: unloadable ({exc})")
+                continue
             return snapshot, meta
         return None
 
 
 class RecoveredState:
-    """What :func:`recover` hands the serving app at boot."""
+    """What :func:`recover` hands the serving app at boot.
 
-    __slots__ = ("client", "wal_seq", "wal_offset", "replayed_ops", "from_checkpoint")
+    ``wal_corruption`` is ``None`` for a clean log; otherwise the reason
+    the WAL scan stopped early — recovery then covers exactly the valid
+    prefix, ``wal_offset`` is the boundary the reopened WAL truncates
+    at, and the app surfaces the reason via ``/healthz`` and
+    ``repro_wal_errors_total`` rather than replaying past corruption.
+    ``checkpoint_fallbacks`` counts checkpoints that had to be skipped
+    (checksum mismatch / unloadable payload) before one verified.
+    """
+
+    __slots__ = (
+        "client",
+        "wal_seq",
+        "wal_offset",
+        "replayed_ops",
+        "from_checkpoint",
+        "wal_corruption",
+        "checkpoint_fallbacks",
+    )
 
     def __init__(
         self,
@@ -218,12 +306,16 @@ class RecoveredState:
         wal_offset: int,
         replayed_ops: int,
         from_checkpoint: bool,
+        wal_corruption: Optional[str] = None,
+        checkpoint_fallbacks: int = 0,
     ) -> None:
         self.client = client
         self.wal_seq = wal_seq
         self.wal_offset = wal_offset
         self.replayed_ops = replayed_ops
         self.from_checkpoint = from_checkpoint
+        self.wal_corruption = wal_corruption
+        self.checkpoint_fallbacks = checkpoint_fallbacks
 
 
 def recover(
@@ -272,7 +364,7 @@ def recover(
         wal_offset = 0
 
     wal_path = WriteAheadLog.path_in(serve.wal_dir)
-    ops, next_offset = read_ops(wal_path, wal_offset)
+    ops, next_offset, corruption = scan_ops(wal_path, wal_offset)
     for seq, op in ops:
         try:
             client.apply([op])
@@ -292,4 +384,6 @@ def recover(
         next_offset,
         len(ops),
         checkpoint is not None,
+        wal_corruption=corruption,
+        checkpoint_fallbacks=len(store.fallbacks),
     )

@@ -16,6 +16,21 @@ The CI gate for the serving subsystem (``python -m repro.serve.smoke``):
 
 Every acknowledged event is by construction in the WAL, so equality with
 the offline replay of the WAL is the durability statement in ISSUE 5.
+
+Chaos mode (``--faults plan.json``) arms a deterministic
+:mod:`repro.serve.faults` plan for **phase 1 only** — the restart in
+phase 2 always boots clean, so whatever the faults left on disk (torn
+records, flipped bits, truncated checkpoints) is exactly what recovery
+has to survive.  Ingest rides out read-only degraded windows (503 +
+``Retry-After``) by retrying, checking on the first 503 that ``/healthz``
+reports ``degraded`` while ``GET /v1/detect`` still answers 200.  The
+final divergence check is unchanged: the restarted server must match the
+offline replay of the surviving WAL prefix bit for bit — a fault may
+*shrink* the acknowledged history at a documented boundary, but it must
+never silently diverge from it.  ``--expect`` pins the failure-handling
+path a plan is meant to exercise (``degraded``, ``wal-corruption``,
+``checkpoint-fallback``, ``worker-fallback``) and ``--report`` writes a
+JSON artifact of everything observed.
 """
 
 from __future__ import annotations
@@ -35,10 +50,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.api.client import SpadeClient
 from repro.api.config import EngineConfig
 from repro.serve.app import RUNINFO_FILENAME
-from repro.serve.wal import WriteAheadLog, read_ops
+from repro.serve.wal import WriteAheadLog, scan_ops
 from repro.workloads.fraud import inject_standard_patterns
 
 __all__ = ["main", "run_smoke"]
+
+#: ``--expect`` vocabulary: which failure-handling path a fault plan must
+#: actually exercise (so a mistuned plan fails CI instead of proving nothing).
+EXPECTATIONS = ("degraded", "wal-corruption", "checkpoint-fallback", "worker-fallback")
 
 
 def _wait_for_server(wal_dir: Path, proc: subprocess.Popen, timeout: float = 30.0) -> int:
@@ -78,6 +97,45 @@ def _request(
         return response.status, json.loads(data) if data else {}
     finally:
         connection.close()
+
+
+def _post_edges(
+    port: int,
+    payload: object,
+    say,
+    observed: Dict[str, object],
+    retries: int = 80,
+    backoff: float = 0.15,
+) -> None:
+    """POST /v1/edges, riding out read-only degraded windows (503).
+
+    On the first 503 the degraded contract is checked once: ``/healthz``
+    must report ``status == "degraded"`` and ``GET /v1/detect`` must keep
+    answering 200 (reads serve the committed snapshot while ingest is
+    parked).  Retried posts may duplicate a partially committed chunk;
+    that is fine for the divergence check because every applied duplicate
+    is in the WAL too.
+    """
+    for _attempt in range(retries):
+        status, body = _request(port, "POST", "/v1/edges", payload)
+        if status == 200:
+            return
+        if status != 503:
+            raise AssertionError(f"ingest failed with {status}: {body}")
+        if not observed.get("degraded"):
+            observed["degraded"] = True
+            health_status, health = _request(port, "GET", "/healthz")
+            assert health_status == 200 and health.get("status") == "degraded", (
+                f"503 from ingest but /healthz does not say degraded: {health}"
+            )
+            read_status, _ = _request(port, "GET", "/v1/detect")
+            assert read_status == 200, "reads must keep serving while degraded"
+            say(
+                f"ingest degraded ({health.get('degraded_reason')}); "
+                f"reads still serving — retrying"
+            )
+        time.sleep(backoff)
+    raise AssertionError(f"ingest still degraded after {retries} retries")
 
 
 def _spawn(config_path: Path) -> subprocess.Popen:
@@ -125,6 +183,9 @@ def run_smoke(
     checkpoint_interval: int = 150,
     workers: int = 0,
     verbose: bool = True,
+    faults: Optional[str] = None,
+    expect: Optional[List[str]] = None,
+    report: Optional[str] = None,
 ) -> int:
     """Run the kill-and-restart divergence check; return a process exit code.
 
@@ -133,12 +194,29 @@ def run_smoke(
     shard worker is ``SIGKILL``\\ ed mid-stream and the server must respawn
     it from the coordinator mirror (visible in ``/healthz`` restarts)
     without losing exactness against the offline replay.
+
+    ``faults`` arms a :mod:`repro.serve.faults` plan for phase 1 (the
+    phase 2 restart boots clean); ``expect`` lists failure-handling paths
+    (:data:`EXPECTATIONS`) that must have been observed for the run to
+    pass; ``report`` writes a JSON artifact of everything observed.
     """
 
     def say(message: str) -> None:
         if verbose:
             print(f"[smoke] {message}", flush=True)
 
+    for expectation in expect or []:
+        if expectation not in EXPECTATIONS:
+            raise ValueError(
+                f"unknown expectation {expectation!r}; valid: {', '.join(EXPECTATIONS)}"
+            )
+
+    observed: Dict[str, object] = {
+        "degraded": False,
+        "worker_fallback": False,
+        "wal_corruption": None,
+        "checkpoint_fallbacks": 0,
+    }
     rows = _fraud_edges(events)
     mid = len(rows) // 2
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
@@ -156,26 +234,34 @@ def run_smoke(
                 "workers": workers,
             },
         }
-        config_path = Path(tmp) / "engine.json"
-        config_path.write_text(json.dumps(config), encoding="utf-8")
+        # The fault plan is phase 1 only: the restart boots clean and has
+        # to cope with whatever the faults left on disk.
+        clean_path = Path(tmp) / "engine.json"
+        clean_path.write_text(json.dumps(config), encoding="utf-8")
+        if faults is not None:
+            config["serve"]["faults"] = str(Path(faults).resolve())
+            config_path = Path(tmp) / "engine-faulty.json"
+            config_path.write_text(json.dumps(config), encoding="utf-8")
+        else:
+            config_path = clean_path
 
         # Phase 1: boot and ingest the first half (bulk + single mix).
         proc = _spawn(config_path)
         try:
             port = _wait_for_server(wal_dir, proc)
-            say(f"phase 1 up on :{port}; ingesting {mid} events")
+            say(f"phase 1 up on :{port}; ingesting {mid} events" + (
+                f" under fault plan {faults}" if faults else ""
+            ))
             index = 0
             while index < mid:
                 if index % 97 == 0:  # sprinkle single-edge posts into the bulk flow
-                    status, _ = _request(port, "POST", "/v1/edges", {
+                    _post_edges(port, {
                         "src": rows[index][0], "dst": rows[index][1], "weight": rows[index][2],
-                    })
-                    assert status == 200, f"single-edge post failed: {status}"
+                    }, say, observed)
                     index += 1
                 else:
                     chunk = rows[index : index + 25]
-                    status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
-                    assert status == 200, f"bulk post failed: {status}"
+                    _post_edges(port, {"edges": chunk}, say, observed)
                     index += len(chunk)
             status, mid_detect = _request(port, "GET", "/v1/detect")
             assert status == 200
@@ -183,7 +269,16 @@ def run_smoke(
                 f"mid-stream detect at version {mid_detect['version']}: "
                 f"|S|={len(mid_detect['community'])} g={mid_detect['density']:.4f}"
             )
-            if workers > 1:
+            status, pre_kill_health = _request(port, "GET", "/healthz")
+            assert status == 200
+            worker_info = pre_kill_health.get("workers") or {}
+            if worker_info.get("fallback"):
+                observed["worker_fallback"] = True
+                say(
+                    f"shard workers fell back to the in-process engine "
+                    f"({worker_info.get('fallback_reason')})"
+                )
+            if workers > 1 and faults is None:
                 # Worker-crash phase: SIGKILL one shard worker, keep
                 # ingesting, and require a respawn before killing the
                 # whole server below.
@@ -198,6 +293,11 @@ def run_smoke(
                     status, _ = _request(port, "POST", "/v1/edges", {"edges": chunk})
                     assert status == 200, f"post-worker-kill post failed: {status}"
                     index += len(chunk)
+                # The flush barrier scatters to every shard, so the dead
+                # worker is discovered even if none of the 50 edges above
+                # happened to route a message to it.
+                status, _ = _request(port, "POST", "/v1/flush")
+                assert status == 200, f"post-worker-kill flush failed: {status}"
                 status, health = _request(port, "GET", "/healthz")
                 assert status == 200
                 restarts = health["workers"]["restarts"]
@@ -213,16 +313,27 @@ def run_smoke(
                 proc.kill()
                 proc.wait(timeout=30)
 
-        # Phase 2: restart from WAL + checkpoint, keep ingesting.
-        proc = _spawn(config_path)
+        # Phase 2: restart from WAL + checkpoint (always clean — the
+        # on-disk damage is the input now), keep ingesting.
+        proc = _spawn(clean_path)
         try:
             port = _wait_for_server(wal_dir, proc)
             status, health = _request(port, "GET", "/healthz")
             assert status == 200
+            recovered_health = health
+            observed["wal_corruption"] = health.get("wal_corruption")
+            observed["checkpoint_fallbacks"] = int(health.get("checkpoint_fallbacks", 0))
             say(
                 f"phase 2 recovered to version {health['version']} "
                 f"({health['recovered_ops']} WAL ops replayed); ingesting the rest"
             )
+            if observed["wal_corruption"]:
+                say(f"recovery reported WAL corruption: {observed['wal_corruption']}")
+            if observed["checkpoint_fallbacks"]:
+                say(
+                    f"recovery skipped {observed['checkpoint_fallbacks']} corrupt "
+                    f"checkpoint(s) and replayed a longer WAL suffix"
+                )
             index = resume_at
             while index < len(rows):
                 chunk = rows[index : index + 25]
@@ -244,8 +355,11 @@ def run_smoke(
 
         # Offline replay of the WAL — the acknowledged history and then some
         # (anything WAL-ed but unacked at the kill is still a valid prefix
-        # of what the recovered server applied).
-        ops, _offset = read_ops(WriteAheadLog.path_in(wal_dir))
+        # of what the recovered server applied).  The final WAL must scan
+        # clean even in chaos mode: phase 2's recovery truncated whatever
+        # the faults corrupted, so leftover corruption here would mean the
+        # server kept appending past a record it could never replay.
+        ops, _offset, residual_corruption = scan_ops(WriteAheadLog.path_in(wal_dir))
         offline = SpadeClient(EngineConfig(semantics="DW", backend="array"))
         offline.load([])
         for _seq, op in ops:
@@ -263,6 +377,8 @@ def run_smoke(
         ]
 
         failures: List[str] = []
+        if residual_corruption is not None:
+            failures.append(f"final WAL does not scan clean: {residual_corruption}")
         if final_detect["version"] != ops[-1][0]:
             failures.append(
                 f"version {final_detect['version']} != last WAL seq {ops[-1][0]}"
@@ -282,6 +398,42 @@ def run_smoke(
             )
         if final_communities["communities"] != offline_instances:
             failures.append("communities page diverged from offline enumeration")
+
+        # A fault plan must actually exercise the path it was written for;
+        # a mistuned plan that injects nothing observable is a CI bug.
+        satisfied = {
+            "degraded": bool(observed["degraded"]),
+            "wal-corruption": observed["wal_corruption"] is not None,
+            "checkpoint-fallback": int(observed["checkpoint_fallbacks"]) >= 1,
+            "worker-fallback": bool(observed["worker_fallback"]),
+        }
+        for expectation in expect or []:
+            if not satisfied[expectation]:
+                failures.append(
+                    f"expected failure path {expectation!r} was never observed "
+                    f"(observed: {observed})"
+                )
+
+        if report is not None:
+            report_doc = {
+                "events": events,
+                "checkpoint_interval": checkpoint_interval,
+                "workers": workers,
+                "faults": faults,
+                "expect": list(expect or []),
+                "observed": observed,
+                "phase1_health": pre_kill_health,
+                "phase2_health": recovered_health,
+                "wal_ops": len(ops),
+                "community_size": len(offline_community),
+                "density": offline_report.density,
+                "failures": failures,
+                "ok": not failures,
+            }
+            Path(report).write_text(
+                json.dumps(report_doc, indent=2, default=str) + "\n", encoding="utf-8"
+            )
+            say(f"report written to {report}")
 
         if failures:
             for failure in failures:
@@ -308,6 +460,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="process-resident shard workers (adds a worker kill -9 phase when >= 2)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection plan JSON armed for phase 1 (repro.serve.faults)",
+    )
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=None,
+        choices=EXPECTATIONS,
+        help="failure-handling path the run must observe (repeatable)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="write a JSON report of everything observed to this path",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     return run_smoke(
@@ -315,6 +484,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_interval=args.checkpoint_interval,
         workers=args.workers,
         verbose=not args.quiet,
+        faults=args.faults,
+        expect=args.expect,
+        report=args.report,
     )
 
 

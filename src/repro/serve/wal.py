@@ -11,32 +11,44 @@ the engine through the identical sequence of maintenance passes.
 
 Record shapes (one JSON object per line)::
 
-    {"seq": 12, "kind": "batch",  "edges": [[src, dst, w], ...]}
-    {"seq": 13, "kind": "delete", "edges": [[src, dst], ...]}
-    {"seq": 14, "kind": "flush"}
+    {"seq": 12, "kind": "batch",  "edges": [[src, dst, w], ...], "crc": N}
+    {"seq": 13, "kind": "delete", "edges": [[src, dst], ...],    "crc": N}
+    {"seq": 14, "kind": "flush",                                 "crc": N}
 
 Insert edges optionally carry vertex priors as five-element rows
 ``[src, dst, w, src_prior, dst_prior]`` (nulls allowed).  Vertex labels
 travel as JSON scalars — the serving layer's label domain is whatever
 arrived over HTTP, which is JSON by construction.
 
-Recovery reads the suffix past the latest checkpoint with
-:func:`repro.storage.jsonl.tail`, which tolerates the torn final line a
-``kill -9`` mid-append leaves behind; a torn record was by definition
-never acknowledged, so dropping it cannot lose an acked event.
+Format versioning is implicit, SQLite-frame style: the current (v2)
+writer stamps every record with ``"crc"`` — ``zlib.crc32`` over the
+canonical serialisation of the record *without* the crc key — appended
+as the final key so the bytes on disk are exactly the hashed bytes plus
+``,"crc":N}``.  Records without a ``crc`` key are legacy v1 records and
+decode unchecked, so logs written before the format change still
+recover (pinned by a test).
+
+Recovery scans the suffix past the latest checkpoint with
+:func:`scan_ops`, which tolerates the torn final line a ``kill -9``
+mid-append leaves behind (never-acked by definition) and **stops at the
+first invalid record** — CRC mismatch, undecodable payload, or a
+sequence regression — reporting the boundary instead of replaying past
+silent corruption, exactly the SQLite WAL-frame discipline.
 """
 
 from __future__ import annotations
 
+import json
+import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.api.events import Delete, Event, Flush, Insert, InsertBatch
 from repro.errors import StorageError
 from repro.graph.delta import EdgeUpdate
-from repro.storage.jsonl import JsonlWriter, tail
+from repro.storage.jsonl import JsonlWriter
 
-__all__ = ["WriteAheadLog", "encode_op", "decode_record", "read_ops"]
+__all__ = ["WriteAheadLog", "encode_op", "decode_record", "read_ops", "scan_ops"]
 
 #: File name of the log inside ``wal_dir``.
 WAL_FILENAME = "wal.jsonl"
@@ -86,24 +98,105 @@ def decode_record(record: Dict[str, object]) -> Event:
     raise StorageError(f"unknown WAL record kind {kind!r}")
 
 
-def read_ops(path: PathLike, offset: int = 0) -> Tuple[List[Tuple[int, Event]], int]:
-    """Read ``(seq, op)`` pairs from byte ``offset``; return the resume offset.
+def _canonical(record: Dict[str, object]) -> bytes:
+    """The byte string a record's CRC is computed over (no ``crc`` key)."""
+    return json.dumps(record, separators=(",", ":"), default=str).encode("utf-8")
 
-    Sequence numbers must be strictly increasing across the read records —
-    anything else means the log was tampered with or mis-assembled, and is
-    reported as :class:`~repro.errors.StorageError` rather than replayed.
+
+def scan_ops(
+    path: PathLike, offset: int = 0
+) -> Tuple[List[Tuple[int, Event]], int, Optional[str]]:
+    """Scan ``(seq, op)`` pairs from byte ``offset``, stopping at corruption.
+
+    Returns ``(ops, next_offset, corruption)``.  ``next_offset`` is the
+    byte offset just past the last *valid* record — the durable boundary
+    recovery resumes (and truncates) at.  ``corruption`` is ``None`` for
+    a clean log; a torn **final** line (unterminated, or terminated but
+    JSON-invalid — normal ``kill -9`` residue, never acknowledged) also
+    scans clean.  Anything else that stops the scan — a CRC mismatch, a
+    mid-file JSON error, an undecodable record, a sequence regression —
+    is corruption: the scan stops *before* the bad record and reports
+    why, and every record past the boundary is deliberately dropped
+    (SQLite's first-invalid-frame rule).
+
+    Records carrying ``"crc"`` (format v2) are verified byte-exactly
+    against their canonical serialisation; records without it are legacy
+    v1 and decode unchecked.
     """
-    records, next_offset = tail(path, offset)
+    path = Path(path)
+    if not path.exists():
+        if offset:
+            raise StorageError(f"records file not found: {path}")
+        return [], 0, None
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        data = handle.read()
     ops: List[Tuple[int, Event]] = []
+    consumed = 0
     last_seq = -1
-    for record in records:
-        seq = int(record["seq"])  # type: ignore[index]
-        if seq <= last_seq:
-            raise StorageError(
-                f"{path}: WAL sequence regressed ({seq} after {last_seq})"
+    corruption: Optional[str] = None
+    lines = data.split(b"\n")
+    # The final element is either b"" (data ended on a newline) or an
+    # unterminated fragment; both are excluded from the scan.
+    for index, raw in enumerate(lines[:-1]):
+        stripped = raw.strip()
+        if not stripped:
+            consumed += len(raw) + 1
+            continue
+        position = offset + consumed
+        try:
+            record = json.loads(stripped)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # UnicodeDecodeError: a flipped bit can break UTF-8 before the
+            # payload even parses as JSON — same corruption, earlier layer.
+            if index == len(lines) - 2 and not lines[-1]:
+                # Torn terminated final line: a crash between the payload
+                # write and the flush can persist a truncated line that
+                # still won its newline from a later append.
+                break
+            corruption = f"invalid JSON record at byte {position}"
+            break
+        if not isinstance(record, dict):
+            corruption = f"non-object record at byte {position}"
+            break
+        crc = record.pop("crc", None)
+        if crc is not None and zlib.crc32(_canonical(record)) != crc:
+            corruption = (
+                f"CRC mismatch at byte {position} (seq {record.get('seq')})"
             )
+            break
+        try:
+            seq = int(record["seq"])
+        except (KeyError, TypeError, ValueError):
+            corruption = f"record without sequence number at byte {position}"
+            break
+        if seq <= last_seq:
+            corruption = (
+                f"WAL sequence regressed ({seq} after {last_seq}) "
+                f"at byte {position}"
+            )
+            break
+        try:
+            op = decode_record(record)
+        except (StorageError, KeyError, TypeError, ValueError) as exc:
+            corruption = f"undecodable record at byte {position} (seq {seq}): {exc}"
+            break
         last_seq = seq
-        ops.append((seq, decode_record(record)))
+        ops.append((seq, op))
+        consumed += len(raw) + 1
+    return ops, offset + consumed, corruption
+
+
+def read_ops(path: PathLike, offset: int = 0) -> Tuple[List[Tuple[int, Event]], int]:
+    """Strict :func:`scan_ops`: corruption raises instead of truncating.
+
+    The offline-replay and test callers want loud failure on a damaged
+    log; the serving recovery path uses :func:`scan_ops` directly so it
+    can recover to the boundary and *report* the truncation.
+    """
+    ops, next_offset, corruption = scan_ops(path, offset)
+    if corruption is not None:
+        raise StorageError(f"{path}: {corruption}")
     return ops, next_offset
 
 
@@ -123,10 +216,14 @@ class WriteAheadLog:
         fsync: bool = True,
         next_seq: int = 1,
         truncate_at: Optional[int] = None,
+        injector: Optional[object] = None,
     ) -> None:
         self._dir = Path(wal_dir)
         self._writer = JsonlWriter(
-            self._dir / WAL_FILENAME, fsync=fsync, truncate_at=truncate_at
+            self._dir / WAL_FILENAME,
+            fsync=fsync,
+            truncate_at=truncate_at,
+            injector=injector,
         )
         self._next_seq = int(next_seq)
 
@@ -150,14 +247,31 @@ class WriteAheadLog:
         return self._next_seq
 
     def append_op(self, op: Event) -> Tuple[int, int]:
-        """Durably append one operation; return ``(seq, offset_after)``."""
+        """Durably append one operation; return ``(seq, offset_after)``.
+
+        Records are stamped with a trailing CRC32 over their canonical
+        serialisation (format v2).  A failed append (``OSError``, e.g.
+        disk full) consumes **no** sequence number and leaves
+        :attr:`offset` unchanged — the op was never durable, so the
+        caller must not ack it; the next successful append reuses the
+        sequence on the last durable boundary.
+        """
         record = encode_op(op)
         seq = self._next_seq
         record_with_seq: Dict[str, object] = {"seq": seq}
         record_with_seq.update(record)
+        record_with_seq["crc"] = zlib.crc32(_canonical(record_with_seq))
         offset = self._writer.append(record_with_seq)
         self._next_seq = seq + 1
         return seq, offset
+
+    def probe(self) -> None:
+        """Raise ``OSError`` while the WAL directory is still unwritable.
+
+        Used by the ingest gateway's degraded-mode probe loop; routed
+        through the same fault injector as :meth:`append_op`.
+        """
+        self._writer.probe()
 
     def sync(self) -> None:
         """Force the log to stable storage (used at graceful shutdown)."""

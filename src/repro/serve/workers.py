@@ -34,6 +34,17 @@ answers stay bit-identical to the offline single-engine replay; the
 respawn is counted in ``repro_worker_restarts_total``).  Boot and respawn
 ship the shard subgraph as a ``CsrSnapshot`` ``.npz`` that the child
 memory-maps read-only (the PR 2 zero-copy path).
+
+Respawns are budgeted: ``respawn_budget`` boot attempts per incident,
+with exponential backoff between attempts.  A shard that crash-loops
+through its whole budget triggers **fallback to the in-process engine**
+— the workers are stopped and the inherited ``ShardedSpade`` shard
+engines are rebuilt from the mirror, so the deployment keeps serving
+exact answers (single-core again, reported via ``/healthz`` and the
+``repro_worker_fallback`` gauge) instead of crash-looping the
+coordinator.  Fault injection (``repro.serve.faults``) hooks the spawn
+(``worker.spawn`` crash) and pipe (``worker.post`` / ``worker.collect``)
+seams to prove exactly that path in CI.
 """
 
 from __future__ import annotations
@@ -49,7 +60,7 @@ from repro.core.reorder import ReorderStats
 from repro.core.state import Community
 from repro.engine.sharded import ShardedSpade
 from repro.engine.worker import WorkerState, decode_state, encode_update, shard_worker_main
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerFallbackError
 from repro.graph.csr import freeze_graph
 from repro.graph.delta import EdgeUpdate
 from repro.graph.graph import DynamicGraph, Vertex
@@ -78,16 +89,28 @@ class ShardWorker:
         semantics_name: str,
         edge_grouping: bool,
         backend: str,
+        injector: Optional[object] = None,
     ) -> None:
         self.index = index
         self._staging = staging_dir
         self._semantics_name = semantics_name
         self._edge_grouping = edge_grouping
         self._backend = backend
+        self._injector = injector
         self._conn = None
         self._proc: Optional[multiprocessing.process.BaseProcess] = None
         self._loads = 0
         self._snapshot_path: Optional[str] = None
+
+    def _maybe_inject(self, site: str) -> None:
+        """Consume one fault-plan invocation of a pipe seam (chaos only)."""
+        if self._injector is not None:
+            try:
+                self._injector.on_worker_pipe(site, self.index)  # type: ignore[attr-defined]
+            except OSError as exc:
+                raise WorkerCrash(
+                    f"shard worker {self.index}: injected {site} failure: {exc}"
+                ) from exc
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -105,6 +128,9 @@ class ShardWorker:
         child.close()
         self._conn = parent
         self._proc = proc
+        if self._injector is not None:
+            # worker.spawn crash rules SIGKILL the fresh child here.
+            self._injector.on_worker_spawn(proc.pid)  # type: ignore[attr-defined]
 
     @property
     def pid(self) -> Optional[int]:
@@ -148,6 +174,7 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     def post(self, message: Tuple[str, object]) -> None:
         """Send one request without waiting (scatter half)."""
+        self._maybe_inject("worker.post")
         if self._conn is None:
             raise WorkerCrash(f"shard worker {self.index} has no live pipe")
         try:
@@ -189,6 +216,7 @@ class ShardWorker:
         pipe (``kill -9``) is noticed promptly rather than at the
         deadline.
         """
+        self._maybe_inject("worker.collect")
         if self._conn is None:
             raise WorkerCrash(f"shard worker {self.index} has no live pipe")
         deadline = time.monotonic() + timeout
@@ -245,6 +273,9 @@ class WorkerEngine(ShardedSpade):
         metrics: Optional[MetricsRegistry] = None,
         request_timeout: float = 120.0,
         load_timeout: float = 600.0,
+        respawn_budget: int = 3,
+        respawn_backoff: float = 0.05,
+        injector: Optional[object] = None,
     ) -> None:
         super().__init__(
             semantics,
@@ -259,12 +290,17 @@ class WorkerEngine(ShardedSpade):
         self._parked_by_home = [0] * num_shards
         self._request_timeout = float(request_timeout)
         self._load_timeout = float(load_timeout)
+        self._respawn_budget = max(1, int(respawn_budget))
+        self._respawn_backoff = float(respawn_backoff)
+        self._injector = injector
         self._staging = tempfile.mkdtemp(prefix="repro-workers-")
         self._closed = False
+        self._fallback = False
+        self._fallback_reason: Optional[str] = None
         #: Respawn count per shard (also exported as a labeled counter).
         self.worker_restarts = [0] * num_shards
 
-        self._m_queue = self._m_apply = self._m_restarts = None
+        self._m_queue = self._m_apply = self._m_restarts = self._m_fallback = None
         if metrics is not None:
             self._m_queue = metrics.gauge(
                 "repro_worker_queue_depth",
@@ -287,6 +323,10 @@ class WorkerEngine(ShardedSpade):
                 buckets=SIZE_BUCKETS,
                 labelnames=("shard",),
             )
+            self._m_fallback = metrics.gauge(
+                "repro_worker_fallback",
+                "1 after shard workers fell back to the in-process engine, else 0",
+            )
         else:
             self._m_batch = None
 
@@ -297,12 +337,25 @@ class WorkerEngine(ShardedSpade):
         """Live worker process ids, in shard order (operational surface)."""
         return [worker.pid for worker in self._workers]
 
+    @property
+    def fallback(self) -> bool:
+        """True once shard maintenance fell back to in-process engines."""
+        return self._fallback
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why the fallback happened, or ``None`` while workers serve."""
+        return self._fallback_reason
+
     # ------------------------------------------------------------------ #
     # Shard dispatch hooks (process-resident overrides)
     # ------------------------------------------------------------------ #
     def _boot_shards(self, shard_graphs: List[DynamicGraph]) -> None:
         if self._closed:
             raise ReproError("worker engine is closed")
+        if self._fallback:
+            ShardedSpade._boot_shards(self, shard_graphs)
+            return
         self._stop_workers()
         self._shards = []  # no in-process shard engines in worker mode
         self._local = [None] * self._num_shards
@@ -315,21 +368,118 @@ class WorkerEngine(ShardedSpade):
                 self._semantics.name,
                 self._edge_grouping,
                 self.backend,
+                injector=self._injector,
             )
             for index in range(self._num_shards)
         ]
         # Spawn + load scatter first, gather second: the children boot
         # and run their Algorithm-1 static peels concurrently.
-        for worker in self._workers:
-            worker.spawn()
-        for worker, shard_graph in zip(self._workers, shard_graphs):
-            worker.post_load(shard_graph)
+        try:
+            for worker in self._workers:
+                worker.spawn()
+            for worker, shard_graph in zip(self._workers, shard_graphs):
+                worker.post_load(shard_graph)
+        except WorkerCrash as exc:
+            # A boot-time spawn/post failure: retry every shard through
+            # the budgeted path (the healthy ones just reboot quickly).
+            self._reboot_all(exc)
+            return
         for index, worker in enumerate(self._workers):
-            state = worker.collect(self._load_timeout)
-            assert state is not None
+            try:
+                state = worker.collect(self._load_timeout)
+                if state is None:
+                    raise WorkerCrash(
+                        f"shard worker {index} answered its load without state"
+                    )
+            except WorkerCrash as exc:
+                worker.destroy()
+                try:
+                    self._workers[index] = self._boot_worker(index, exc)
+                except WorkerFallbackError as failure:
+                    self._enter_fallback(str(failure))
+                    return
+                continue
             worker.discard_snapshot()
             self._local[index] = state.community
             self._benign_pending[index] = state.pending
+
+    def _reboot_all(self, cause: WorkerCrash) -> None:
+        """Re-boot every shard through the budgeted path (may fall back)."""
+        for worker in self._workers:
+            worker.destroy()
+        for index in range(self._num_shards):
+            try:
+                self._workers[index] = self._boot_worker(index, cause)
+            except WorkerFallbackError as failure:
+                self._enter_fallback(str(failure))
+                return
+
+    def _boot_worker(self, home: int, cause: Optional[Exception] = None) -> ShardWorker:
+        """Spawn + load one shard from the mirror, within the respawn budget.
+
+        Retries up to ``respawn_budget`` times with exponential backoff
+        between attempts; a shard that cannot be brought up raises
+        :class:`~repro.errors.WorkerFallbackError` (typed — never a bare
+        ``AssertionError``) so the caller can fall back to the in-process
+        engine instead of killing the coordinator.
+        """
+        last_error: Optional[Exception] = cause
+        for attempt in range(1, self._respawn_budget + 1):
+            if attempt > 1:
+                time.sleep(min(self._respawn_backoff * 2 ** (attempt - 2), 2.0))
+            worker = ShardWorker(
+                home,
+                self._staging,
+                self._semantics.name,
+                self._edge_grouping,
+                self.backend,
+                injector=self._injector,
+            )
+            try:
+                worker.spawn()
+                worker.post_load(self._build_shard_graph(home))
+                state = worker.collect(self._load_timeout)
+                if state is None:
+                    raise WorkerCrash(
+                        f"shard worker {home} answered its load without state"
+                    )
+            except WorkerCrash as exc:
+                last_error = exc
+                worker.destroy()
+                continue
+            worker.discard_snapshot()
+            self._local[home] = state.community
+            self._benign_pending[home] = state.pending
+            return worker
+        raise WorkerFallbackError(
+            f"shard {home} failed to come up after {self._respawn_budget} "
+            f"attempts: {last_error}"
+        )
+
+    def _enter_fallback(self, reason: str) -> None:
+        """Stop the workers and rebuild in-process shards from the mirror.
+
+        The mirror holds every accepted update (it is maintained before
+        any dispatch), so partitioning it rebuilds exact shard state; the
+        parked cross-shard queue is dropped for the same reason — its
+        updates are already in the mirror, and the rebuilt shards would
+        double-apply them.
+        """
+        self._fallback = True
+        self._fallback_reason = reason
+        if self._m_fallback is not None:
+            self._m_fallback.set(1)
+        self._stop_workers()
+        self._local = [None] * self._num_shards
+        self._benign_pending = [0] * self._num_shards
+        self._pending = []
+        self._pending_has_delete = False
+        for home in range(self._num_shards):
+            if self._parked_by_home[home]:
+                self._parked_by_home[home] = 0
+                if self._m_queue is not None:
+                    self._m_queue.labels(shard=home).set(0)
+        ShardedSpade._boot_shards(self, self._partition_graphs())
 
     def _park(self, update: EdgeUpdate, home: int) -> None:
         super()._park(update, home)
@@ -344,6 +494,9 @@ class WorkerEngine(ShardedSpade):
         timestamp: Optional[float],
         stats: ReorderStats,
     ) -> None:
+        if self._fallback:
+            ShardedSpade._dispatch_immediate(self, immediate, batch, timestamp, stats)
+            return
         messages: Dict[int, Tuple[str, object]] = {}
         for home, routed in immediate.items():
             if not batch and len(routed) == 1:
@@ -355,6 +508,9 @@ class WorkerEngine(ShardedSpade):
     def _dispatch_deletes(
         self, immediate: Dict[int, List[Tuple[Vertex, Vertex]]], stats: ReorderStats
     ) -> None:
+        if self._fallback:
+            ShardedSpade._dispatch_deletes(self, immediate, stats)
+            return
         self._scatter(
             {home: ("delete", [tuple(edge) for edge in doomed]) for home, doomed in immediate.items()},
             stats,
@@ -363,6 +519,9 @@ class WorkerEngine(ShardedSpade):
     def _dispatch_parked(
         self, per_home: Dict[int, List[EdgeUpdate]], stats: Optional[ReorderStats]
     ) -> None:
+        if self._fallback:
+            ShardedSpade._dispatch_parked(self, per_home, stats)
+            return
         messages: Dict[int, Tuple[str, object]] = {}
         for home, ops in per_home.items():
             runs: List[Tuple[bool, List[object]]] = []
@@ -387,11 +546,16 @@ class WorkerEngine(ShardedSpade):
                     self._m_queue.labels(shard=home).set(0)
 
     def _flush_shards(self) -> None:
+        if self._fallback:
+            ShardedSpade._flush_shards(self)
+            return
         self._scatter(
             {home: ("flush", None) for home in range(self._num_shards)}, None
         )
 
     def _shard_communities(self) -> List[Community]:
+        if self._fallback:
+            return ShardedSpade._shard_communities(self)
         # Every worker response carries the shard's current community, so
         # the coordinator-side cache is always fresh: no IPC round trip.
         communities = []
@@ -402,6 +566,8 @@ class WorkerEngine(ShardedSpade):
         return communities
 
     def _shard_pending(self) -> int:
+        if self._fallback:
+            return ShardedSpade._shard_pending(self)
         return sum(self._benign_pending)
 
     def shard_communities(self, parallel: Optional[bool] = None) -> List[Community]:
@@ -412,6 +578,8 @@ class WorkerEngine(ShardedSpade):
         (``parallel`` is accepted for interface compatibility — the work
         already ran in the worker processes).
         """
+        if self._fallback:
+            return ShardedSpade.shard_communities(self, parallel)
         self._coordinator_pass()
         return self._shard_communities()
 
@@ -447,15 +615,21 @@ class WorkerEngine(ShardedSpade):
                 self._workers[home].post(message)
             except WorkerCrash:
                 self._respawn(home)
+                if self._fallback:
+                    return
                 continue
             posted.append((home, began))
             if self._m_batch is not None:
                 self._m_batch.labels(shard=home).observe(max(1, self._edges_in(message)))
         for home, began in posted:
+            if self._fallback:
+                return
             try:
                 state = self._workers[home].collect(self._request_timeout)
             except WorkerCrash:
                 self._respawn(home)
+                if self._fallback:
+                    return
                 continue
             if state is None:  # pragma: no cover - protocol invariant
                 continue
@@ -486,17 +660,10 @@ class WorkerEngine(ShardedSpade):
         self._parked_by_home[home] = 0
         if self._m_queue is not None:
             self._m_queue.labels(shard=home).set(0)
-        worker = ShardWorker(
-            home, self._staging, self._semantics.name, self._edge_grouping, self.backend
-        )
-        worker.spawn()
-        worker.post_load(self._build_shard_graph(home))
-        state = worker.collect(self._load_timeout)
-        assert state is not None
-        worker.discard_snapshot()
-        self._workers[home] = worker
-        self._local[home] = state.community
-        self._benign_pending[home] = state.pending
+        try:
+            self._workers[home] = self._boot_worker(home)
+        except WorkerFallbackError as exc:
+            self._enter_fallback(str(exc))
 
     # ------------------------------------------------------------------ #
     # Shutdown

@@ -130,11 +130,25 @@ class JsonlWriter:
         :func:`tail` excludes from its resume offset; a writer reopening
         the file must discard those bytes, or its next record would fuse
         with the fragment into one unparseable line.
+    injector:
+        Optional fault injector (duck-typed; see
+        :class:`repro.serve.faults.FaultInjector`).  Its
+        ``before_append(payload) -> (bytes_to_write, error_or_None)``
+        hook decides each append's fate: it may substitute the bytes
+        that reach the file (torn or bit-flipped records) and/or hand
+        back an ``OSError`` to raise after the substituted bytes are
+        written (disk-full, EIO).  ``None`` (the default) is the
+        production path: payloads pass through untouched.
 
     The writer is a context manager; :meth:`append` returns the byte
     offset just past the appended record, which — together with
     :func:`tail` — lets readers resume from a durable position without
     re-scanning the file.
+
+    A *failed* append (injected or real ``OSError``) does not advance
+    :attr:`offset`; any bytes it left behind are truncated away at the
+    start of the next append, so a torn fragment can never fuse with a
+    later record.
     """
 
     def __init__(
@@ -142,10 +156,12 @@ class JsonlWriter:
         path: PathLike,
         fsync: bool = False,
         truncate_at: Optional[int] = None,
+        injector: Optional[object] = None,
     ) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._fsync = bool(fsync)
+        self._injector = injector
         self._handle = self._path.open("ab")
         self._offset = self._handle.seek(0, os.SEEK_END)
         if truncate_at is not None and truncate_at < self._offset:
@@ -165,16 +181,58 @@ class JsonlWriter:
         return self._offset
 
     def append(self, record: Mapping) -> int:
-        """Append one record; return the byte offset just past it."""
+        """Append one record; return the byte offset just past it.
+
+        Raises ``OSError`` (possibly injected) when the record could not
+        be made durable; :attr:`offset` is unchanged in that case and any
+        partial bytes are discarded before the next append.
+        """
         if self._handle.closed:
             raise StorageError(f"writer for {self._path} is closed")
-        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
-        self._handle.write(line.encode("utf-8"))
-        self._handle.flush()
-        if self._fsync:
+        if self._handle.tell() != self._offset:
+            # A previous append failed after writing partial bytes (torn
+            # write): discard the fragment so this record starts on the
+            # last durable boundary.
+            self._handle.truncate(self._offset)
+            self._handle.flush()
             os.fsync(self._handle.fileno())
+            self._handle.seek(0, os.SEEK_END)
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        payload = line.encode("utf-8")
+        error: Optional[OSError] = None
+        if self._injector is not None:
+            payload, error = self._injector.before_append(payload)  # type: ignore[attr-defined]
+        if payload:
+            self._handle.write(payload)
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+        if error is not None:
+            raise error
         self._offset = self._handle.tell()
         return self._offset
+
+    def probe(self) -> None:
+        """Check the backing directory is writable (degraded-mode re-entry).
+
+        Writes, fsyncs, and unlinks a ``<name>.probe`` sibling file,
+        routed through the same fault injector as :meth:`append` so an
+        injected count-limited disk-full deterministically clears after
+        the configured number of failed appends *and* probes.  Raises
+        ``OSError`` while the disk is still failing.
+        """
+        payload = b'{"probe":true}\n'
+        error: Optional[OSError] = None
+        if self._injector is not None:
+            payload, error = self._injector.before_append(payload)  # type: ignore[attr-defined]
+        if error is not None:
+            raise error
+        probe_path = self._path.with_name(self._path.name + ".probe")
+        with probe_path.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        probe_path.unlink()
 
     def sync(self) -> None:
         """Force buffered records to stable storage regardless of ``fsync``."""
