@@ -142,6 +142,11 @@ class SpadeClient:
         return self._engine.backend
 
     @property
+    def kernel(self) -> Optional[str]:
+        """The requested hot-loop kernel (``None`` = process default)."""
+        return getattr(self._engine, "kernel", None)
+
+    @property
     def shards(self) -> int:
         """Number of shard engines behind the façade (1 = single)."""
         return getattr(self._engine, "num_shards", 1)

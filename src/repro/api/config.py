@@ -55,6 +55,14 @@ class EngineConfig:
     executor:
         ``"serial"`` / ``"process"`` — how a sharded engine computes
         per-shard communities (sharded engines only).
+    kernel:
+        Hot-loop implementation for the peel and reorder inner loops
+        (``"python"`` / ``"native"`` / ``"auto"``).  ``"native"`` runs the
+        compiled C kernels of :mod:`repro.native` and fails loud
+        (:class:`~repro.errors.KernelUnavailableError`) when they cannot
+        be built or loaded; ``"auto"`` (default) uses them when available
+        and otherwise falls back to the python paths with a single
+        ``RuntimeWarning``.  All three produce bit-identical sequences.
     serve:
         Optional nested :class:`~repro.serve.config.ServeConfig` for the
         HTTP serving layer (``python -m repro.serve``).  ``None`` for
@@ -72,6 +80,7 @@ class EngineConfig:
     edge_grouping: bool = False
     coordinator_interval: int = 1024
     executor: str = "serial"
+    kernel: str = "auto"
     serve: Optional[ServeConfig] = None
 
     def __post_init__(self) -> None:
@@ -82,6 +91,7 @@ class EngineConfig:
             shards=self.shards,
             executor=self.executor,
             coordinator_interval=self.coordinator_interval,
+            kernel=self.kernel,
         )
         if self.serve is not None and not isinstance(self.serve, ServeConfig):
             if isinstance(self.serve, Mapping):
@@ -152,5 +162,6 @@ class EngineConfig:
             shards=self.shards,
             edge_grouping=self.edge_grouping,
             backend=self.backend,
+            kernel=self.kernel,
             **options,
         )

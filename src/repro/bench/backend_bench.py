@@ -43,9 +43,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import native as _native
 from repro._version import __version__
 from repro.api.config import EngineConfig
-from repro.config import VALID_BACKENDS, VALID_STATIC, validate_config
+from repro.config import VALID_BACKENDS, VALID_KERNELS, VALID_STATIC, validate_config
 from repro.core.insertion import insert_edge
 from repro.core.state import PeelingState
 from repro.peeling.semantics import dw_semantics
@@ -123,13 +124,17 @@ def run_backend(
     backend: str,
     initial: List[tuple],
     increments: List[tuple],
+    kernel: str = "python",
 ) -> Dict[str, float]:
     """Benchmark one backend; returns the metric row for the JSON report.
 
     The heap static peel measured here is the fig10 baseline; the
     heap-vs-CSR static comparison lives in :func:`run_static_comparison`
     (``BENCH_csr.json``) so the same quantity is not measured — and
-    reported — twice.
+    reported — twice.  ``kernel`` pins the hot-loop implementation
+    (default ``"python"`` so the backend axis measures the backend, not
+    the kernel; the kernel axis has its own report,
+    ``repro.bench.kernel_bench`` → ``BENCH_kernel.json``).
     """
     semantics = dw_semantics()
 
@@ -146,7 +151,7 @@ def run_backend(
 
     # Maintenance-only single-edge inserts (the refactor's hot path).
     graph = semantics.materialize(initial, backend=backend)
-    state = PeelingState(graph, semantics)
+    state = PeelingState(graph, semantics, kernel=kernel)
     began = time.perf_counter()
     for src, dst, weight in increments:
         insert_edge(state, src, dst, weight)
@@ -157,7 +162,7 @@ def run_backend(
     # engine is constructed through the public EngineConfig (the timed
     # loop still drives the engine directly — the façade's per-event
     # report building is not what this micro-benchmark measures).
-    spade = EngineConfig(semantics="DW", backend=backend).build(semantics)
+    spade = EngineConfig(semantics="DW", backend=backend, kernel=kernel).build(semantics)
     spade.load_edges(initial)
     began = time.perf_counter()
     for src, dst, weight in increments:
@@ -183,19 +188,21 @@ def run_comparison(
     seed: int = 42,
     repeats: int = 2,
     backends: Sequence[str] = ("dict", "array"),
+    kernel: str = "python",
 ) -> Dict[str, object]:
     """Run the fig10 single-edge micro-benchmark on the selected backends.
 
     Each backend is measured ``repeats`` times and the best run kept
     (minimum per-edge time), which filters allocator/JIT-warmup noise the
-    same way timeit does.
+    same way timeit does.  ``kernel`` is pinned per row so the comparison
+    isolates the backend axis.
     """
     initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
     rows: Dict[str, Dict[str, float]] = {}
     for backend in backends:
         best: Dict[str, float] = {}
         for _ in range(repeats):
-            row = run_backend(backend, initial, increments)
+            row = run_backend(backend, initial, increments, kernel=kernel)
             if not best or row["insert_per_edge_us"] < best["insert_per_edge_us"]:
                 best = row
         rows[backend] = best
@@ -214,6 +221,7 @@ def run_comparison(
             "semantics": "DW",
             "repeats": repeats,
             "backends": list(backends),
+            "kernel": kernel,
         },
         "backends": rows,
     }
@@ -249,11 +257,18 @@ def run_static_comparison(
     (:func:`peel_csr` on the frozen snapshot — the steady-state cost
     every re-run of the static baseline pays).  Also asserts the two
     peels are bit-identical; the report lands in ``BENCH_csr.json``.
+
+    The CSR row pins ``kernel="python"`` so the numbers stay an
+    apples-to-apples python comparison; when the native C kernels are
+    available a third row measures ``peel_csr(..., kernel="native")`` on
+    the same snapshot and its bit-identity against the other two.
     """
     initial, _ = generate_stream(num_vertices, num_initial, 0, seed)
     semantics = dw_semantics()
+    native_available = _native.available()
 
     heap_s = freeze_s = csr_s = float("inf")
+    native_s: Optional[float] = float("inf") if native_available else None
     match = True
     for _ in range(repeats):
         graph = semantics.materialize(initial, backend="array")
@@ -267,9 +282,15 @@ def run_static_comparison(
         freeze_s = min(freeze_s, time.perf_counter() - began)
 
         began = time.perf_counter()
-        csr_result = peel_csr(snapshot, semantics.name)
+        csr_result = peel_csr(snapshot, semantics.name, kernel="python")
         csr_s = min(csr_s, time.perf_counter() - began)
         match = match and _results_match(heap_result, csr_result)
+
+        if native_available:
+            began = time.perf_counter()
+            native_result = peel_csr(snapshot, semantics.name, kernel="native")
+            native_s = min(native_s, time.perf_counter() - began)
+            match = match and _results_match(heap_result, native_result)
 
     return {
         "experiment": "fig10-static-peel-heap-vs-csr",
@@ -290,8 +311,16 @@ def run_static_comparison(
         "freeze_s": round(freeze_s, 6),
         "csr_peel_s": round(csr_s, 6),
         "csr_peel_cold_s": round(freeze_s + csr_s, 6),
+        "native_peel_s": round(native_s, 6) if native_s is not None else None,
+        "native_available": bool(native_available),
         "speedup_csr_over_heap": round(heap_s / csr_s, 2),
         "speedup_incl_freeze": round(heap_s / (freeze_s + csr_s), 2),
+        "speedup_native_over_csr": (
+            round(csr_s / native_s, 2) if native_s else None
+        ),
+        "speedup_native_over_heap": (
+            round(heap_s / native_s, 2) if native_s else None
+        ),
         "sequences_match": bool(match),
         "target": "snapshot-resident peel_csr >= 3x heap peel",
         "target_met": bool(match and heap_s / csr_s >= 3.0),
@@ -417,6 +446,14 @@ def main() -> None:
         help="static-peel methods to measure",
     )
     parser.add_argument(
+        "--kernel",
+        choices=list(VALID_KERNELS),
+        default="python",
+        help="hot-loop kernel pinned for the backend rows (default python so "
+        "the backend axis stays isolated; the kernel axis is "
+        "repro.bench.kernel_bench)",
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="small workload for CI smoke runs"
     )
     parser.add_argument(
@@ -447,6 +484,7 @@ def main() -> None:
         validate_config(backend=backend)
     for static in args.static:
         validate_config(static=static)
+    validate_config(kernel=args.kernel)
     if args.shards:
         validate_config(shards=args.shards)
 
@@ -466,6 +504,7 @@ def main() -> None:
         seed=args.seed,
         repeats=args.repeats,
         backends=args.backends,
+        kernel=args.kernel,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for backend, row in report["backends"].items():
@@ -495,6 +534,12 @@ def main() -> None:
             f"{csr_report['speedup_csr_over_heap']}x, sequences "
             f"{'MATCH' if csr_report['sequences_match'] else 'MISMATCH'}"
         )
+        if csr_report["native_peel_s"] is not None:
+            print(
+                f"native peel: {csr_report['native_peel_s']:.3f}s — "
+                f"{csr_report['speedup_native_over_csr']}x over csr, "
+                f"{csr_report['speedup_native_over_heap']}x over heap"
+            )
         ok = bool(csr_report["sequences_match"])
     if args.shards >= 1:
         shard_report = run_sharded_comparison(

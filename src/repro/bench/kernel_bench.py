@@ -1,0 +1,228 @@
+"""Kernel micro-benchmark: python vs native C hot loops, bit-identity gated.
+
+The native kernels of :mod:`repro.native` replace the two hot loops the
+profiles blame — the flat greedy peel over a CSR snapshot's incidence
+arrays and the reorder inner loop over the dense-id peeling state — with
+hand-written C compiled on demand.  This module measures both loops under
+``kernel="python"`` and ``kernel="native"`` on the same fig10-style
+workload (reusing :func:`repro.bench.backend_bench.generate_stream`) and
+reports:
+
+* ``static`` — the snapshot-resident ``peel_csr`` on the frozen initial
+  graph, per kernel (best of ``repeats``), plus the speedup;
+* ``incremental`` — the single-edge insert stream through the peeling
+  state's reorder path, per kernel, plus per-edge latencies and speedup.
+
+Both phases are gated on **bit-identity**: the static peels must produce
+the same order / weights / community, and the incremental replays must
+finish with identical peeling sequences (and pass
+``check_consistency``).  A mismatch makes the process exit non-zero so
+CI fails loudly — a fast wrong kernel is worse than no kernel.
+
+Acceptance bar: native ``peel_csr`` ≥ 3× the python ``peel_csr`` on the
+default workload.  ``python -m repro.bench.kernel_bench`` writes
+``BENCH_kernel.json``; ``--quick`` shrinks the workload for CI smoke
+runs.  Without a usable C toolchain the bench exits non-zero immediately
+(it exists to measure the native kernels; the no-compiler fallback path
+is covered by the test suite instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import native
+from repro._version import __version__
+from repro.bench.backend_bench import (
+    DEFAULT_INCREMENTS,
+    DEFAULT_INITIAL_EDGES,
+    DEFAULT_VERTICES,
+    QUICK_INCREMENTS,
+    QUICK_INITIAL_EDGES,
+    QUICK_VERTICES,
+    _results_match,
+    generate_stream,
+)
+from repro.core.insertion import insert_edge
+from repro.core.state import PeelingState
+from repro.peeling.semantics import dw_semantics
+from repro.peeling.static import peel_csr
+
+__all__ = ["run_kernel_comparison", "main"]
+
+
+def _static_phase(
+    initial: List[tuple], repeats: int
+) -> Dict[str, object]:
+    """Time ``peel_csr`` per kernel on one frozen snapshot (best of N)."""
+    semantics = dw_semantics()
+    graph = semantics.materialize(initial, backend="array")
+    snapshot = graph.freeze()
+    snapshot.incidence()  # build the combined incidence outside the timers
+
+    times = {"python": float("inf"), "native": float("inf")}
+    results = {}
+    for _ in range(repeats):
+        for kernel in ("python", "native"):
+            began = time.perf_counter()
+            result = peel_csr(snapshot, semantics.name, kernel=kernel)
+            times[kernel] = min(times[kernel], time.perf_counter() - began)
+            results[kernel] = result
+    match = _results_match(results["python"], results["native"])
+    return {
+        "python_peel_s": round(times["python"], 6),
+        "native_peel_s": round(times["native"], 6),
+        "speedup_native_over_python": round(times["python"] / times["native"], 2),
+        "sequences_match": bool(match),
+    }
+
+
+def _incremental_phase(
+    initial: List[tuple], increments: List[tuple], repeats: int
+) -> Dict[str, object]:
+    """Replay the insert stream through the reorder path, per kernel.
+
+    Each repeat rebuilds the state from scratch so every run pays the
+    same static peel and reorders the same sequence; the timer covers
+    only the increment replay.  The final peeling sequences of the two
+    kernels must be bit-identical.
+    """
+    semantics = dw_semantics()
+    times = {"python": float("inf"), "native": float("inf")}
+    sequences = {}
+    for _ in range(repeats):
+        for kernel in ("python", "native"):
+            graph = semantics.materialize(initial, backend="array")
+            state = PeelingState(graph, semantics, kernel=kernel)
+            began = time.perf_counter()
+            for src, dst, weight in increments:
+                insert_edge(state, src, dst, weight)
+            times[kernel] = min(times[kernel], time.perf_counter() - began)
+            state.check_consistency()
+            sequences[kernel] = (list(state.order), list(state.weights))
+    match = sequences["python"] == sequences["native"]
+    per_edge = {k: times[k] / len(increments) for k in times}
+    return {
+        "python_insert_s": round(times["python"], 6),
+        "native_insert_s": round(times["native"], 6),
+        "python_insert_per_edge_us": round(per_edge["python"] * 1e6, 3),
+        "native_insert_per_edge_us": round(per_edge["native"] * 1e6, 3),
+        "speedup_native_over_python": round(times["python"] / times["native"], 2),
+        "sequences_match": bool(match),
+    }
+
+
+def run_kernel_comparison(
+    num_vertices: int = DEFAULT_VERTICES,
+    num_initial: int = DEFAULT_INITIAL_EDGES,
+    num_increments: int = DEFAULT_INCREMENTS,
+    seed: int = 42,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run both phases and assemble the ``BENCH_kernel.json`` report.
+
+    Requires the native kernels (raises
+    :class:`~repro.errors.KernelUnavailableError` through
+    :func:`repro.native.resolve_kernel` when they cannot be built).
+    """
+    native.resolve_kernel("native")  # fail loud before measuring anything
+    initial, increments = generate_stream(num_vertices, num_initial, num_increments, seed)
+    static = _static_phase(initial, repeats)
+    incremental = _incremental_phase(initial, increments, repeats)
+    match = bool(static["sequences_match"] and incremental["sequences_match"])
+    speedup = static["speedup_native_over_python"]
+    status = native.status()
+    return {
+        "experiment": "kernel-python-vs-native",
+        "description": (
+            "peel and reorder hot loops under kernel=python vs kernel=native "
+            "(compiled C) on the fig10 workload: snapshot-resident peel_csr "
+            "and the single-edge insert/reorder stream, bit-identity gated"
+        ),
+        "version": __version__,
+        "workload": {
+            "num_vertices": num_vertices,
+            "initial_edges": num_initial,
+            "increment_edges": num_increments,
+            "seed": seed,
+            "semantics": "DW",
+            "backend": "array",
+            "repeats": repeats,
+        },
+        "native": {
+            "cc": status.get("cc"),
+            "so_path": status.get("so_path"),
+            "build_cached": status.get("build_cached"),
+        },
+        "static": static,
+        "incremental": incremental,
+        "sequences_match": match,
+        "target": "native peel_csr >= 3x python peel_csr",
+        "target_met": bool(match and speedup >= 3.0),
+    }
+
+
+def main() -> None:
+    """CLI entry point: run the comparison and persist ``BENCH_kernel.json``."""
+    parser = argparse.ArgumentParser(
+        description="python vs native C kernel micro-benchmark"
+    )
+    parser.add_argument("--vertices", type=int, default=None)
+    parser.add_argument("--initial-edges", type=int, default=None)
+    parser.add_argument("--increments", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke runs"
+    )
+    parser.add_argument("--output", type=Path, default=Path("BENCH_kernel.json"))
+    args = parser.parse_args()
+
+    if not native.available():
+        reason = native.status().get("reason")
+        print(f"ERROR: native kernels unavailable: {reason}", file=sys.stderr)
+        sys.exit(1)
+
+    defaults = (
+        (QUICK_VERTICES, QUICK_INITIAL_EDGES, QUICK_INCREMENTS)
+        if args.quick
+        else (DEFAULT_VERTICES, DEFAULT_INITIAL_EDGES, DEFAULT_INCREMENTS)
+    )
+    report = run_kernel_comparison(
+        num_vertices=args.vertices if args.vertices is not None else defaults[0],
+        num_initial=args.initial_edges if args.initial_edges is not None else defaults[1],
+        num_increments=args.increments if args.increments is not None else defaults[2],
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    static, incremental = report["static"], report["incremental"]
+    print(
+        f"static peel_csr: python {static['python_peel_s']:.3f}s vs native "
+        f"{static['native_peel_s']:.3f}s — "
+        f"{static['speedup_native_over_python']}x, sequences "
+        f"{'MATCH' if static['sequences_match'] else 'MISMATCH'}"
+    )
+    print(
+        f"insert stream: python {incremental['python_insert_per_edge_us']:9.2f} us/edge "
+        f"vs native {incremental['native_insert_per_edge_us']:9.2f} us/edge — "
+        f"{incremental['speedup_native_over_python']}x, sequences "
+        f"{'MATCH' if incremental['sequences_match'] else 'MISMATCH'}"
+    )
+    print(
+        f"target ({report['target']}): {'MET' if report['target_met'] else 'NOT MET'}"
+    )
+    if not report["sequences_match"]:
+        print(
+            "ERROR: native kernel sequences diverged from python", file=sys.stderr
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.api.config import EngineConfig
+from repro.config import VALID_KERNELS
 from repro.bench.backend_bench import (
     DEFAULT_INCREMENTS,
     DEFAULT_INITIAL_EDGES,
@@ -220,6 +221,7 @@ def run_serve_bench(
     max_batch: int = 256,
     max_delay_ms: float = 2.0,
     workers: int = 0,
+    kernel: str = "auto",
 ) -> Dict[str, object]:
     """Run the three phases against one in-process server; return the report.
 
@@ -235,6 +237,7 @@ def run_serve_bench(
     config = EngineConfig(
         semantics="DW",
         backend="array",
+        kernel=kernel,
         serve=ServeConfig(
             port=0,
             wal_dir=None,  # pure serving-path measurement; --fsync adds the WAL
@@ -302,6 +305,7 @@ def run_serve_bench(
             "backend": "array",
             "durability": "wal+fsync" if fsync else "none",
             "workers": workers,
+            "kernel": kernel,
         },
         "single": single_row,
         "single_under_queries": under_load_row,
@@ -327,6 +331,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-delay-ms", type=float, default=2.0)
     parser.add_argument(
         "--fsync", action="store_true", help="enable the WAL + fsync during the bench"
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(VALID_KERNELS),
+        default="auto",
+        help="hot-loop kernel for the served engine (native C when available)",
     )
     parser.add_argument(
         "--workers",
@@ -380,6 +390,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_batch=args.max_batch,
                 max_delay_ms=args.max_delay_ms,
                 workers=workers,
+                kernel=args.kernel,
             )
         )
 

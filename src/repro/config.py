@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.graph.backend import BACKENDS
+from repro.native import VALID_KERNELS
 from repro.peeling.semantics import (
     PeelingSemantics,
     dg_semantics,
@@ -34,6 +35,7 @@ __all__ = [
     "SEMANTICS_FACTORIES",
     "VALID_BACKENDS",
     "VALID_EXECUTORS",
+    "VALID_KERNELS",
     "VALID_SEMANTICS",
     "VALID_STATIC",
     "semantics_instance",
@@ -72,6 +74,7 @@ def validate_config(
     shards: Optional[int] = None,
     executor: Optional[str] = None,
     coordinator_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> None:
     """Validate engine-configuration knobs; raise :class:`ConfigError` if bad.
 
@@ -99,6 +102,8 @@ def validate_config(
         raise ConfigError(
             f"coordinator_interval must be >= 1, got {coordinator_interval}"
         )
+    if kernel is not None:
+        _choice("kernel", kernel, VALID_KERNELS)
 
 
 def semantics_instance(name: str) -> PeelingSemantics:

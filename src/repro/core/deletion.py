@@ -98,7 +98,9 @@ def repeel_suffix(state: PeelingState, start: int, use_csr: Optional[bool] = Non
             and 2 * len(suffix_ids) >= len(state)
         )
     if use_csr:
-        order_ids, weights, _total = peel_csr_ids(graph, suffix_ids)
+        order_ids, weights, _total = peel_csr_ids(
+            graph, suffix_ids, kernel=getattr(state, "kernel", None)
+        )
     else:
         order_ids, weights, _total = peel_subset_ids(graph, suffix_ids)
     state.write_segment_ids(start, order_ids, np.asarray(weights, dtype=np.float64))

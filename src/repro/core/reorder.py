@@ -62,6 +62,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import native as _native
 from repro.graph.backend import SMALL_DEGREE
 from repro.graph.graph import Vertex
 from repro.core.state import PeelingState
@@ -146,6 +147,19 @@ def reorder_after_insertions(
         return stats
 
     seed_positions = sorted(state.position_id(vid) for vid in seed_ids)
+
+    # --- native dispatch --------------------------------------------- #
+    # The compiled kernel runs the identical scan (same cases, same float
+    # association order, same heap pop order — see _kernels.c) over the
+    # graph's pool pointer tables.  It needs the array backend (pointer
+    # pools) and a reorder kernel that passed the pw_sum self-check; when
+    # either is missing the python loop below serves, even under
+    # kernel="native" — resolve_kernel already failed loud on the truly
+    # unavailable cases (no compiler / failed build / failed self-check).
+    if _native.resolve_kernel(getattr(state, "kernel", None)) == "native":
+        nk = _native.get_kernels()
+        if nk is not None and nk.reorder_ok and hasattr(graph, "native_adjacency"):
+            return _reorder_native(state, nk, seed_ids, seed_positions, stats)
 
     # Black (seed) and gray (collateral) vertices trigger the same action —
     # recover-and-queue — so one ``touched`` array serves both colours.
@@ -424,5 +438,46 @@ def reorder_after_insertions(
             if len(ids):
                 touched[ids] = False
 
+    state.invalidate()
+    return stats
+
+
+def _reorder_native(
+    state: PeelingState,
+    nk,
+    seed_ids: Sequence[int],
+    seed_positions: Sequence[int],
+    stats: ReorderStats,
+) -> ReorderStats:
+    """Run the reorder pass through the compiled kernel (bit-identical).
+
+    The kernel mutates the sequence buffers, position index and scratch
+    masks in place exactly as the python loop does — including the
+    finally-style mask reset on error paths — and reports the same
+    affected-area counters.
+    """
+    graph = state.graph
+    touched, in_queue_mask = state.reorder_masks()
+    inq_val = state.reorder_queue_values()
+    raw = nk.reorder(
+        graph.native_adjacency(),
+        graph._vw,
+        state._order_buf,
+        state._weights_buf,
+        state._head,
+        len(state),
+        state._pos_buf,
+        touched,
+        in_queue_mask,
+        inq_val,
+        np.asarray(seed_ids, dtype=np.int32),
+        np.asarray(seed_positions, dtype=np.int64),
+        SMALL_DEGREE,
+    )
+    stats.queued_vertices = int(raw[0])
+    stats.moved_vertices = int(raw[1])
+    stats.scanned_positions = int(raw[2])
+    stats.edge_traversals = int(raw[3])
+    stats.islands = int(raw[4])
     state.invalidate()
     return stats

@@ -90,6 +90,10 @@ class Spade:
         (:func:`repro.graph.backend.get_default_backend`).  When set
         explicitly, :meth:`load_graph` converts an adopted graph of a
         different backend.
+    kernel:
+        Hot-loop implementation (``"python"`` / ``"native"`` /
+        ``"auto"``; ``None`` = process default) — see
+        :mod:`repro.native`.  Bit-identical results either way.
     """
 
     def __init__(
@@ -97,10 +101,12 @@ class Spade:
         semantics: Optional[PeelingSemantics] = None,
         edge_grouping: bool = False,
         backend: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> None:
-        validate_config(backend=backend)
+        validate_config(backend=backend, kernel=kernel)
         self._semantics = semantics or dg_semantics()
         self._backend = backend
+        self._kernel = kernel
         self._state: Optional[PeelingState] = None
         self._grouper: Optional[EdgeGrouper] = None
         self._grouping_enabled = edge_grouping
@@ -161,6 +167,11 @@ class Spade:
             return backend_of(self._state.graph)
         return self._backend or get_default_backend()
 
+    @property
+    def kernel(self) -> Optional[str]:
+        """The requested hot-loop kernel (``None`` = process default)."""
+        return self._kernel
+
     def load_graph(self, graph: DynamicGraph) -> PeelingResult:
         """Adopt an already-weighted graph and run the initial static peel.
 
@@ -171,7 +182,7 @@ class Spade:
         """
         if self._backend is not None and backend_of(graph) != self._backend:
             graph = convert_graph(graph, self._backend)
-        self._state = PeelingState(graph, self._semantics)
+        self._state = PeelingState(graph, self._semantics, kernel=self._kernel)
         if self._grouping_enabled:
             self._grouper = EdgeGrouper(self._state)
         return self._state.as_result()

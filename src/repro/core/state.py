@@ -113,6 +113,10 @@ class PeelingState:
         An optional precomputed static peeling result.  When omitted the
         state runs the static algorithm once (the "initialisation" step of
         the paper's pipeline).
+    kernel:
+        The hot-loop implementation choice (``"python"`` / ``"native"`` /
+        ``"auto"``; ``None`` = process default) honored by every
+        maintenance pass over this state — see :mod:`repro.native`.
     """
 
     def __init__(
@@ -120,9 +124,11 @@ class PeelingState:
         graph,
         semantics: PeelingSemantics,
         result: Optional[PeelingResult] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.semantics = semantics
+        self.kernel = kernel
         if result is None:
             result = peel(graph, semantics_name=semantics.name)
         if len(result.order) != graph.num_vertices():
@@ -149,6 +155,7 @@ class PeelingState:
         self._community_cache: Optional[Community] = None
         self._touched_scratch: Optional[np.ndarray] = None
         self._inq_scratch: Optional[np.ndarray] = None
+        self._inq_val_scratch: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Interner plumbing
@@ -185,7 +192,16 @@ class PeelingState:
                 grown_capacity = max(grown_capacity, 2 * len(self._touched_scratch))
             self._touched_scratch = np.zeros(grown_capacity, dtype=bool)
             self._inq_scratch = np.zeros(grown_capacity, dtype=bool)
+            # Companion f64 scratch for the native reorder kernel: the
+            # queue priority per id, meaningful only where the in-queue
+            # mask is set (so it never needs resetting).
+            self._inq_val_scratch = np.zeros(grown_capacity, dtype=np.float64)
         return self._touched_scratch, self._inq_scratch
+
+    def reorder_queue_values(self) -> np.ndarray:
+        """The f64 queue-priority scratch paired with :meth:`reorder_masks`."""
+        self.reorder_masks()
+        return self._inq_val_scratch
 
     # ------------------------------------------------------------------ #
     # Sequence views

@@ -36,13 +36,16 @@ def create_engine(
     shards: int = 1,
     edge_grouping: bool = False,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     **sharded_options,
 ) -> DetectionEngine:
     """Build a detection engine: single-shard ``Spade`` or ``ShardedSpade``.
 
     ``shards <= 1`` returns the plain single engine; anything larger
     returns a :class:`ShardedSpade` partitioned over that many shard
-    engines.  ``sharded_options`` (``coordinator_interval``,
+    engines.  ``kernel`` selects the hot-loop implementation
+    (``"python"`` / ``"native"`` / ``"auto"``; ``None`` = process
+    default).  ``sharded_options`` (``coordinator_interval``,
     ``executor``) are forwarded to :class:`ShardedSpade` and rejected for
     the single engine.
 
@@ -50,16 +53,17 @@ def create_engine(
     :class:`repro.api.SpadeClient`; this factory is the layer they build
     on.
     """
-    validate_config(backend=backend)
+    validate_config(backend=backend, kernel=kernel)
     if shards <= 1:
         if sharded_options:
             unknown = ", ".join(sorted(sharded_options))
             raise TypeError(f"single-engine Spade accepts no sharded options ({unknown})")
-        return Spade(semantics, edge_grouping=edge_grouping, backend=backend)
+        return Spade(semantics, edge_grouping=edge_grouping, backend=backend, kernel=kernel)
     return ShardedSpade(
         semantics,
         num_shards=shards,
         edge_grouping=edge_grouping,
         backend=backend,
+        kernel=kernel,
         **sharded_options,
     )

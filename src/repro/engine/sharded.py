@@ -122,18 +122,21 @@ class ShardedSpade:
         backend: Optional[str] = None,
         coordinator_interval: int = 1024,
         executor: str = "serial",
+        kernel: Optional[str] = None,
     ) -> None:
         validate_config(
             backend=backend,
             shards=num_shards,
             executor=executor,
             coordinator_interval=coordinator_interval,
+            kernel=kernel,
         )
         self._semantics = semantics or dg_semantics()
         self._shard_semantics = _preweighted(self._semantics)
         self._num_shards = num_shards
         self._edge_grouping = edge_grouping
         self._backend = backend
+        self._kernel = kernel
         self._coordinator_interval = coordinator_interval
         self._executor = executor
         self._mirror = None
@@ -181,6 +184,11 @@ class ShardedSpade:
         if self._mirror is not None:
             return backend_of(self._mirror)
         return self._backend or get_default_backend()
+
+    @property
+    def kernel(self) -> Optional[str]:
+        """The requested hot-loop kernel (``None`` = process default)."""
+        return self._kernel
 
     @property
     def graph(self) -> DynamicGraph:
@@ -287,7 +295,11 @@ class ShardedSpade:
         """Construct the shard engines from their partitioned subgraphs."""
         self._shards = []
         for shard_graph in shard_graphs:
-            shard = Spade(self._shard_semantics, edge_grouping=self._edge_grouping)
+            shard = Spade(
+                self._shard_semantics,
+                edge_grouping=self._edge_grouping,
+                kernel=self._kernel,
+            )
             shard.load_graph(shard_graph)
             self._shards.append(shard)
 
@@ -440,7 +452,7 @@ class ShardedSpade:
             return self._merged_result
         mirror = self._require_loaded()
         if hasattr(mirror, "freeze"):
-            result = peel_csr(mirror.freeze(), self._semantics.name)
+            result = peel_csr(mirror.freeze(), self._semantics.name, kernel=self._kernel)
         else:
             result = peel(mirror, self._semantics.name)
         self._merged_result = result

@@ -20,7 +20,8 @@ maintained answers match an in-process shard bit for bit.
 Wire protocol (pickled tuples over the pipe, strictly request/response)::
 
     ("load",   {"snapshot": path, "semantics": name,
-                "edge_grouping": bool, "backend": str})
+                "edge_grouping": bool, "backend": str,
+                "kernel": str | None})
     ("single", ((src, dst, w, src_prior, dst_prior), timestamp))
     ("batch",  [(src, dst, w, src_prior, dst_prior), ...])
     ("delete", [(src, dst), ...])
@@ -144,9 +145,11 @@ def _load_engine(payload: Dict[str, object]) -> Spade:
 
     snapshot = CsrSnapshot.load(str(payload["snapshot"]), mmap_mode="r")
     graph = graph_from_snapshot(snapshot, backend=str(payload["backend"]))
+    kernel = payload.get("kernel")
     spade = Spade(
         preweighted_semantics(str(payload["semantics"])),
         edge_grouping=bool(payload["edge_grouping"]),
+        kernel=str(kernel) if kernel is not None else None,
     )
     spade.load_graph(graph)
     return spade

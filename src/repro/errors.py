@@ -67,6 +67,21 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class KernelUnavailableError(ConfigError):
+    """``kernel="native"`` was requested but the compiled kernels are unusable.
+
+    Raised by :func:`repro.native.resolve_kernel` when no C compiler is
+    found, the on-demand build fails, or the loaded library flunks its
+    bit-identity self-check.  Carries the human-readable ``reason``.
+    Under ``kernel="auto"`` the same conditions fall back to the python
+    hot paths with a single ``RuntimeWarning`` instead.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"native kernels unavailable: {reason}")
+        self.reason = reason
+
+
 class SemanticsError(ReproError):
     """A user-supplied suspiciousness function returned an invalid value."""
 

@@ -79,6 +79,12 @@ class ArrayGraph:
         "_scratch_w",
         "_version",
         "_snapshot_cache",
+        "_nat_out_nbr_p",
+        "_nat_out_w_p",
+        "_nat_out_len",
+        "_nat_in_nbr_p",
+        "_nat_in_w_p",
+        "_nat_in_len",
     )
 
     def __init__(
@@ -104,6 +110,15 @@ class ArrayGraph:
         self._scratch_w = np.empty(16, dtype=np.float64)
         self._version = 0
         self._snapshot_cache = None
+        # Native pointer tables (repro.native): per-vertex pool addresses
+        # and live lengths, built lazily by native_adjacency() and then
+        # maintained incrementally.  ``_nat_out_len is None`` == disabled.
+        self._nat_out_nbr_p: Optional[np.ndarray] = None
+        self._nat_out_w_p: Optional[np.ndarray] = None
+        self._nat_out_len: Optional[np.ndarray] = None
+        self._nat_in_nbr_p: Optional[np.ndarray] = None
+        self._nat_in_w_p: Optional[np.ndarray] = None
+        self._nat_in_len: Optional[np.ndarray] = None
         populate_graph(self, vertices, edges)
 
     # ------------------------------------------------------------------ #
@@ -129,20 +144,24 @@ class ArrayGraph:
             self._in_nbr.append(None)
             self._in_w.append(None)
             self._in_len.append(0)
+        if self._nat_out_len is not None and len(self._out_len) > len(self._nat_out_len):
+            self._nat_grow(len(self._out_len))
 
-    @staticmethod
-    def _pool_append(
-        nbrs: List[Optional[np.ndarray]],
-        wgts: List[Optional[np.ndarray]],
-        lens: List[int],
-        vid: int,
-        nbr_id: int,
-        weight: float,
-    ) -> int:
-        """Append one edge to a pool with capacity doubling; return its slot."""
+    def _pool_append(self, out_dir: bool, vid: int, nbr_id: int, weight: float) -> int:
+        """Append one edge to a pool with capacity doubling; return its slot.
+
+        When the native pointer tables are live, a pool reallocation
+        refreshes the vertex's pool addresses and every append its live
+        length, so the tables always describe the current pools.
+        """
+        if out_dir:
+            nbrs, wgts, lens = self._out_nbr, self._out_w, self._out_len
+        else:
+            nbrs, wgts, lens = self._in_nbr, self._in_w, self._in_len
         arr = nbrs[vid]
         n = lens[vid]
-        if arr is None or n == len(arr):
+        realloc = arr is None or n == len(arr)
+        if realloc:
             new_cap = max(4, 2 * n)
             grown_n = np.empty(new_cap, dtype=np.int32)
             grown_w = np.empty(new_cap, dtype=np.float64)
@@ -155,6 +174,17 @@ class ArrayGraph:
         arr[n] = nbr_id
         wgts[vid][n] = weight
         lens[vid] = n + 1
+        if self._nat_out_len is not None:
+            if out_dir:
+                if realloc:
+                    self._nat_out_nbr_p[vid] = arr.ctypes.data
+                    self._nat_out_w_p[vid] = wgts[vid].ctypes.data
+                self._nat_out_len[vid] = n + 1
+            else:
+                if realloc:
+                    self._nat_in_nbr_p[vid] = arr.ctypes.data
+                    self._nat_in_w_p[vid] = wgts[vid].ctypes.data
+                self._nat_in_len[vid] = n + 1
         return n
 
     def _require_member(self, vertex: Vertex) -> int:
@@ -250,8 +280,8 @@ class ArrayGraph:
             self._in_w[did][in_slot] += weight
             new_weight = float(self._out_w[sid][out_slot])
         else:
-            out_slot = self._pool_append(self._out_nbr, self._out_w, self._out_len, sid, did, weight)
-            in_slot = self._pool_append(self._in_nbr, self._in_w, self._in_len, did, sid, weight)
+            out_slot = self._pool_append(True, sid, did, weight)
+            in_slot = self._pool_append(False, did, sid, weight)
             self._edge_slots[key] = (out_slot, in_slot)
             self._num_edges += 1
             new_weight = weight
@@ -305,6 +335,10 @@ class ArrayGraph:
             key = (moved, did)
             o_slot, i_slot = slots[key]
             slots[key] = (o_slot, i_slot - 1)
+        if self._nat_out_len is not None:
+            # Shift-removal edits the pools in place: only the lengths move.
+            self._nat_out_len[sid] = self._out_len[sid]
+            self._nat_in_len[did] = self._in_len[did]
 
     def has_edge(self, src: Vertex, dst: Vertex) -> bool:
         """Return whether the directed edge ``(src, dst)`` exists."""
@@ -492,6 +526,72 @@ class ArrayGraph:
             ids[n_out:n] = self._in_nbr[vid][:n_in]
             weights[n_out:n] = self._in_w[vid][:n_in]
         return ids[:n], weights[:n]
+
+    # ------------------------------------------------------------------ #
+    # Native pointer tables (repro.native reorder kernel)
+    # ------------------------------------------------------------------ #
+    def native_adjacency(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Return the pool address/length tables the C reorder kernel walks.
+
+        ``(out_nbr_ptrs, out_w_ptrs, out_lens, in_nbr_ptrs, in_w_ptrs,
+        in_lens, pooled)`` — ``uint64`` pool base addresses and ``int64``
+        live lengths per dense id, valid for ids ``< pooled``.  Built once
+        (O(pooled)) on first use, then maintained incrementally by the
+        edge mutation paths, so per-update reorders pay O(1) here.  A
+        vertex without an allocated pool has address 0 and length 0; the
+        kernel never dereferences a zero-length pool.
+        """
+        pooled = len(self._out_len)
+        if self._nat_out_len is None or len(self._nat_out_len) < pooled:
+            self._nat_build(pooled)
+        return (
+            self._nat_out_nbr_p,
+            self._nat_out_w_p,
+            self._nat_out_len,
+            self._nat_in_nbr_p,
+            self._nat_in_w_p,
+            self._nat_in_len,
+            pooled,
+        )
+
+    def _nat_grow(self, pooled: int) -> None:
+        """Grow the live pointer tables to cover ``pooled`` ids (zero-filled)."""
+        cap = max(2 * len(self._nat_out_len), pooled)
+        for name in (
+            "_nat_out_nbr_p",
+            "_nat_out_w_p",
+            "_nat_out_len",
+            "_nat_in_nbr_p",
+            "_nat_in_w_p",
+            "_nat_in_len",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros(cap, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _nat_build(self, pooled: int) -> None:
+        """(Re)build the pointer tables from scratch over all pools."""
+        cap = max(16, 2 * pooled)
+        self._nat_out_nbr_p = np.zeros(cap, dtype=np.uint64)
+        self._nat_out_w_p = np.zeros(cap, dtype=np.uint64)
+        self._nat_out_len = np.zeros(cap, dtype=np.int64)
+        self._nat_in_nbr_p = np.zeros(cap, dtype=np.uint64)
+        self._nat_in_w_p = np.zeros(cap, dtype=np.uint64)
+        self._nat_in_len = np.zeros(cap, dtype=np.int64)
+        for vid in range(pooled):
+            arr = self._out_nbr[vid]
+            if arr is not None:
+                self._nat_out_nbr_p[vid] = arr.ctypes.data
+                self._nat_out_w_p[vid] = self._out_w[vid].ctypes.data
+                self._nat_out_len[vid] = self._out_len[vid]
+            arr = self._in_nbr[vid]
+            if arr is not None:
+                self._nat_in_nbr_p[vid] = arr.ctypes.data
+                self._nat_in_w_p[vid] = self._in_w[vid].ctypes.data
+                self._nat_in_len[vid] = self._in_len[vid]
 
     # ------------------------------------------------------------------ #
     # Snapshot export

@@ -1,0 +1,163 @@
+"""``repro.native``: compiled C kernels for the peel and reorder hot loops.
+
+The two loops every profile since PR 2 blames — the lazy-deletion greedy
+loop of :func:`repro.peeling.static.peel_csr` and the reorder inner loop
+of :mod:`repro.core.reorder` — have hand-written C twins in
+``_kernels.c``, compiled on demand with the system ``cc`` into a cached
+shared object and called over ctypes.  They are *bit-identical* to the
+python/numpy paths (same IEEE-754 association order, same heap pop order,
+numpy's exact pairwise summation), which the load-time self-check and the
+differential test-suite both enforce.
+
+Selection is explicit via the ``kernel`` knob on
+:class:`repro.api.EngineConfig` (and every layer below it):
+
+``"python"``
+    Always the interpreted paths.
+``"native"``
+    Fail loud: :class:`repro.errors.KernelUnavailableError` when no
+    compiler / failed build / failed self-check.
+``"auto"`` (default)
+    Use native when available, otherwise fall back to python with a
+    single :class:`RuntimeWarning` per process.
+
+The process default (used when a call site is not threaded through a
+config, e.g. bare ``peel_csr`` calls) is ``auto``, overridable with the
+``REPRO_KERNEL`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError, KernelUnavailableError
+
+__all__ = [
+    "VALID_KERNELS",
+    "available",
+    "default_kernel",
+    "resolve_kernel",
+    "status",
+]
+
+#: Valid values of the ``kernel`` knob.
+VALID_KERNELS: Tuple[str, ...] = ("python", "native", "auto")
+
+_warned_fallback = False
+
+
+def default_kernel() -> str:
+    """The process-default kernel choice (``REPRO_KERNEL`` or ``auto``)."""
+    value = os.environ.get("REPRO_KERNEL", "auto")
+    if value not in VALID_KERNELS:
+        raise ConfigError(
+            f"unknown kernel {value!r} in REPRO_KERNEL; "
+            f"valid choices: {', '.join(VALID_KERNELS)}"
+        )
+    return value
+
+
+def get_kernels():
+    """The loaded :class:`~repro.native.kernels.NativeKernels`, or ``None``.
+
+    Indirection point (module attribute) so tests can monkeypatch
+    unavailability without touching the filesystem or PATH.
+    """
+    from repro.native import kernels
+
+    return kernels.get_kernels()
+
+
+def available() -> bool:
+    """Whether the native peel kernel is usable in this process."""
+    loaded = get_kernels()
+    return loaded is not None and loaded.peel_ok
+
+
+def resolve_kernel(requested: Optional[str] = None) -> str:
+    """Resolve a requested kernel to the concrete one to run.
+
+    ``None`` means the process default.  ``"native"`` raises
+    :class:`~repro.errors.KernelUnavailableError` when the kernels cannot
+    be used; ``"auto"`` falls back to ``"python"`` with one
+    ``RuntimeWarning`` per process.
+    """
+    global _warned_fallback
+    if requested is None:
+        requested = default_kernel()
+    if requested not in VALID_KERNELS:
+        raise ConfigError(
+            f"unknown kernel {requested!r}; valid choices: {', '.join(VALID_KERNELS)}"
+        )
+    if requested == "python":
+        return "python"
+    loaded = get_kernels()
+    usable = loaded is not None and loaded.peel_ok
+    if usable:
+        return "native"
+    reason = _unavailable_reason(loaded)
+    if requested == "native":
+        raise KernelUnavailableError(reason)
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            f"native kernels unavailable ({reason}); falling back to the "
+            "python hot paths (kernel='auto')",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "python"
+
+
+def _unavailable_reason(loaded) -> str:
+    if loaded is not None:
+        return loaded.check_error or "peel kernel failed its self-check"
+    from repro.native import kernels
+
+    return kernels.load_failure() or "unknown load failure"
+
+
+def status() -> Dict[str, object]:
+    """Operational report on the native kernels (for /healthz, benches, tests)."""
+    from repro.native import build, kernels
+
+    loaded = get_kernels()
+    report: Dict[str, object] = {
+        "default_kernel": default_kernel(),
+        "available": loaded is not None and loaded.peel_ok,
+        "cc": build.find_compiler(),
+        "cache_dir": str(build.cache_dir()),
+    }
+    if loaded is None:
+        report.update(
+            {
+                "peel": False,
+                "reorder": False,
+                "reason": kernels.load_failure(),
+                "so_path": None,
+            }
+        )
+    else:
+        report.update(
+            {
+                "peel": loaded.peel_ok,
+                "reorder": loaded.reorder_ok,
+                "reason": loaded.check_error,
+                "so_path": loaded.so_path,
+                "cc": loaded.cc,
+                "build_cached": loaded.cached,
+                "build_ms": round(loaded.build_ms, 1),
+            }
+        )
+    return report
+
+
+def _reset_for_tests() -> None:
+    """Forget cached load state + the one-shot fallback warning."""
+    global _warned_fallback
+    from repro.native import kernels
+
+    _warned_fallback = False
+    kernels._reset_for_tests()

@@ -1,0 +1,157 @@
+"""On-demand compilation of the native kernels into a cached ``.so``.
+
+No packaging changes, no ``Python.h``: ``_kernels.c`` is plain C operating
+on raw pointers, compiled with whatever system C compiler is on ``PATH``
+(``cc`` / ``gcc`` / ``clang``) into a shared object keyed by the source
+hash, so the compiler runs at most once per source revision per machine.
+
+Environment knobs
+-----------------
+``REPRO_NATIVE_CC``
+    Explicit compiler path.  Overrides ``PATH`` discovery; pointing it at
+    a non-existent file disables the native kernels (used by the
+    no-compiler CI leg and the fallback tests).
+``REPRO_NATIVE_CACHE``
+    Cache directory for compiled objects (default
+    ``~/.cache/repro-native``).  Tests point this at temp dirs to exercise
+    cold builds and cache reuse hermetically.
+
+Flags deliberately exclude every form of ``-ffast-math``: the kernels'
+contract is bit-identical IEEE-754 float64 arithmetic, and fast-math
+licenses the reassociation that would break it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["BuildResult", "cache_dir", "find_compiler", "ensure_built", "SOURCE_PATH"]
+
+SOURCE_PATH = Path(__file__).with_name("_kernels.c")
+
+#: Compilers probed on PATH, in order, when REPRO_NATIVE_CC is unset.
+_COMPILERS = ("cc", "gcc", "clang")
+
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-fvisibility=hidden"]
+
+
+class BuildResult:
+    """Outcome of :func:`ensure_built` — success or a diagnosable failure."""
+
+    __slots__ = ("so_path", "cc", "cached", "error", "build_ms")
+
+    def __init__(
+        self,
+        so_path: Optional[Path] = None,
+        cc: Optional[str] = None,
+        cached: bool = False,
+        error: Optional[str] = None,
+        build_ms: float = 0.0,
+    ) -> None:
+        self.so_path = so_path
+        self.cc = cc
+        self.cached = cached
+        self.error = error
+        self.build_ms = build_ms
+
+    @property
+    def ok(self) -> bool:
+        return self.so_path is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "so_path": str(self.so_path) if self.so_path else None,
+            "cc": self.cc,
+            "cached": self.cached,
+            "error": self.error,
+            "build_ms": round(self.build_ms, 1),
+        }
+
+
+def cache_dir() -> Path:
+    """The directory compiled kernels are cached in (env-overridable)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def find_compiler() -> Optional[str]:
+    """Locate a C compiler: ``REPRO_NATIVE_CC`` first, then PATH probing."""
+    override = os.environ.get("REPRO_NATIVE_CC")
+    if override is not None:
+        path = shutil.which(override) or (override if os.access(override, os.X_OK) else None)
+        return path
+    for name in _COMPILERS:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _source_key(cc: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(SOURCE_PATH.read_bytes())
+    digest.update(("\0" + cc + "\0" + " ".join(_CFLAGS)).encode())
+    return digest.hexdigest()[:16]
+
+
+def ensure_built() -> BuildResult:
+    """Compile (or reuse) the kernel ``.so``; never raises, reports errors.
+
+    The object name embeds a hash of the C source + compiler + flags, so a
+    source change compiles into a fresh object while older processes keep
+    their loaded one, and a second process (or a second call) finds the
+    object already built — the compile-cache reuse the tests pin.
+    """
+    if not SOURCE_PATH.exists():  # pragma: no cover - packaging error
+        return BuildResult(error=f"kernel source missing: {SOURCE_PATH}")
+    cc = find_compiler()
+    if cc is None:
+        return BuildResult(
+            error="no C compiler found (searched REPRO_NATIVE_CC, then "
+            + "/".join(_COMPILERS)
+            + " on PATH)"
+        )
+    directory = cache_dir()
+    so_path = directory / f"repro_kernels_{_source_key(cc)}.so"
+    if so_path.exists():
+        return BuildResult(so_path=so_path, cc=cc, cached=True)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        return BuildResult(error=f"cannot create cache dir {directory}: {exc}", cc=cc)
+
+    began = time.perf_counter()
+    # Compile into a private temp name and rename into place, so a crashed
+    # or concurrent build can never publish a torn .so.
+    fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=str(directory))
+    os.close(fd)
+    command = [cc, *_CFLAGS, "-o", tmp_name, str(SOURCE_PATH), "-lm"]
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        os.unlink(tmp_name)
+        return BuildResult(error=f"compiler failed to run: {exc}", cc=cc)
+    if proc.returncode != 0:
+        os.unlink(tmp_name)
+        detail = (proc.stderr or proc.stdout or "").strip()[:2000]
+        return BuildResult(error=f"compile failed (rc={proc.returncode}): {detail}", cc=cc)
+    os.replace(tmp_name, so_path)
+    return BuildResult(
+        so_path=so_path,
+        cc=cc,
+        cached=False,
+        build_ms=(time.perf_counter() - began) * 1e3,
+    )

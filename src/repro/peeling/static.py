@@ -42,6 +42,7 @@ from typing import AbstractSet, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import native as _native
 from repro.graph.backend import SMALL_DEGREE
 from repro.graph.csr import CsrSnapshot, freeze_graph
 from repro.graph.graph import DynamicGraph, Vertex
@@ -216,7 +217,11 @@ def _as_snapshot(source) -> CsrSnapshot:
     return freeze_graph(source)
 
 
-def peel_csr(source, semantics_name: str = "custom") -> PeelingResult:
+def peel_csr(
+    source,
+    semantics_name: str = "custom",
+    kernel: Optional[str] = None,
+) -> PeelingResult:
     """Run Algorithm 1 over an immutable CSR snapshot (the fast path).
 
     ``source`` is either a :class:`~repro.graph.csr.CsrSnapshot` or a graph
@@ -226,9 +231,13 @@ def peel_csr(source, semantics_name: str = "custom") -> PeelingResult:
     graph — bit-identical, not merely equivalent: neighbor runs preserve
     enumeration order and every floating-point accumulation follows the
     same association shape as the heap-based loop.
+
+    ``kernel`` selects the greedy-loop implementation (``"python"`` /
+    ``"native"`` / ``"auto"``; ``None`` = the process default) — see
+    :mod:`repro.native`.  The native kernel is bit-identical too.
     """
     snapshot = _as_snapshot(source)
-    order_ids, weights, total = _peel_csr_ids(snapshot, None)
+    order_ids, weights, total = _peel_csr_ids(snapshot, None, kernel=kernel)
     return PeelingResult.from_sequence(
         snapshot.labels_for(order_ids), weights, total, semantics_name=semantics_name
     )
@@ -238,6 +247,7 @@ def peel_subset_csr(
     source,
     subset: AbstractSet[Vertex],
     semantics_name: str = "custom",
+    kernel: Optional[str] = None,
 ) -> PeelingResult:
     """CSR twin of :func:`peel_subset`: peel the induced subgraph ``G[S]``."""
     snapshot = _as_snapshot(source)
@@ -250,13 +260,17 @@ def peel_subset_csr(
         ),
         dtype=np.int32,
     )
-    order_ids, weights, total = _peel_csr_ids(snapshot, ids)
+    order_ids, weights, total = _peel_csr_ids(snapshot, ids, kernel=kernel)
     return PeelingResult.from_sequence(
         snapshot.labels_for(order_ids), weights, total, semantics_name=semantics_name
     )
 
 
-def peel_csr_ids(source, member_ids=None) -> Tuple[np.ndarray, List[float], float]:
+def peel_csr_ids(
+    source,
+    member_ids=None,
+    kernel: Optional[str] = None,
+) -> Tuple[np.ndarray, List[float], float]:
     """Id-based CSR peel (the maintenance twin of :func:`peel_subset_ids`).
 
     ``member_ids`` (dense ids, any order — sorted internally) defaults to
@@ -265,12 +279,13 @@ def peel_csr_ids(source, member_ids=None) -> Tuple[np.ndarray, List[float], floa
     snapshot = _as_snapshot(source)
     if member_ids is not None:
         member_ids = np.sort(np.asarray(member_ids, dtype=np.int32))
-    return _peel_csr_ids(snapshot, member_ids)
+    return _peel_csr_ids(snapshot, member_ids, kernel=kernel)
 
 
 def _peel_csr_ids(
     snapshot: CsrSnapshot,
     member_ids: Optional[np.ndarray],
+    kernel: Optional[str] = None,
 ) -> Tuple[np.ndarray, List[float], float]:
     """Greedy peeling over the combined-incidence CSR of a snapshot.
 
@@ -342,6 +357,24 @@ def _peel_csr_ids(
         total = 0.0
     edge_total = (float(current[member_ids].sum()) - total) / 2.0
     total += edge_total
+
+    # --- native dispatch --------------------------------------------- #
+    # The compiled kernel runs the identical lazy-deletion greedy loop
+    # over the same incidence arrays (see _kernels.c for the bit-identity
+    # argument); when selected it replaces the python loop below and the
+    # flat_incidence() materialisation entirely.
+    if _native.resolve_kernel(kernel) == "native":
+        nk = _native.get_kernels()
+        if nk is not None and nk.peel_ok:
+            order_ids_arr, out_weights = nk.peel(
+                inc_off,
+                inc_nbr,
+                inc_w,
+                num_ids,
+                np.ascontiguousarray(member_ids, dtype=np.int32),
+                np.ascontiguousarray(current[member_ids]),
+            )
+            return order_ids_arr, out_weights, total
 
     # --- greedy loop over the flattened CSR -------------------------- #
     # The loop runs over plain Python lists materialised once from the

@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import native as _native
 from repro._version import __version__
 from repro.api.config import EngineConfig
 from repro.errors import DegradedError, ReproError
@@ -184,6 +185,10 @@ class ServeApp:
             "repro_checkpoint_fallbacks_total",
             "Corrupt/unloadable checkpoints skipped in favor of an older one",
         )
+        self._m_kernel = self.metrics.gauge(
+            "repro_kernel_active",
+            "1 when the compiled native kernels serve the hot loops, else 0",
+        )
 
         # --- fault injection (chaos testing only) --------------------- #
         self._injector = None
@@ -191,6 +196,11 @@ class ServeApp:
             from repro.serve.faults import FaultInjector, FaultPlan
 
             self._injector = FaultInjector(FaultPlan.from_file(self.serve_config.faults))
+
+        # --- kernel resolution (before recovery: a "native" request
+        # that cannot be honoured should fail at boot, not mid-replay) -- #
+        self.active_kernel: str = _native.resolve_kernel(config.kernel)
+        self._m_kernel.set(1 if self.active_kernel == "native" else 0)
 
         # --- engine (recover or fresh boot) --------------------------- #
         recovered = recover(config, semantics=semantics, initial_edges=initial_edges)
@@ -217,6 +227,7 @@ class ServeApp:
                 edge_grouping=config.edge_grouping,
                 backend=self.client.backend,
                 coordinator_interval=config.coordinator_interval,
+                kernel=config.kernel,
                 metrics=self.metrics,
                 injector=self._injector,
             )
@@ -459,6 +470,11 @@ class ServeApp:
             "semantics": self.client.semantics.name,
             "backend": self.client.backend,
             "shards": self.client.shards,
+            "kernel": {
+                "requested": self.config.kernel,
+                "active": self.active_kernel,
+                "native_available": _native.available(),
+            },
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "recovered_ops": self.recovered_ops,
             "library_version": __version__,

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.api.config import EngineConfig
+from repro.native import VALID_KERNELS
 from repro.serve.app import ServeApp
 from repro.serve.config import ServeConfig
 
@@ -53,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-resident shard workers (>= 2 enables multi-core ingest; 0 = in-process)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=VALID_KERNELS,
+        default=None,
+        help="hot-loop implementation (native = compiled C kernels, fails loud; "
+        "auto = native when available, python fallback)",
     )
     parser.add_argument(
         "--faults",
@@ -101,7 +109,10 @@ def _resolve_config(args: argparse.Namespace) -> EngineConfig:
         overrides["faults"] = args.faults
     if overrides:
         serve = serve.replace(**overrides)
-    return config.replace(serve=serve)
+    config = config.replace(serve=serve)
+    if args.kernel is not None:
+        config = config.replace(kernel=args.kernel)
+    return config
 
 
 async def _run(config: EngineConfig, initial_edges: Optional[List[tuple]]) -> None:
@@ -111,7 +122,7 @@ async def _run(config: EngineConfig, initial_edges: Optional[List[tuple]]) -> No
         f"repro.serve listening on http://{app.serve_config.host}:{app.server.port} "
         f"(semantics={app.client.semantics.name}, backend={app.client.backend}, "
         f"shards={app.client.shards}, workers={app.serve_config.workers}, "
-        f"recovered_ops={app.recovered_ops})",
+        f"kernel={app.active_kernel}, recovered_ops={app.recovered_ops})",
         flush=True,
     )
     stop = asyncio.Event()

@@ -89,6 +89,7 @@ class ShardWorker:
         semantics_name: str,
         edge_grouping: bool,
         backend: str,
+        kernel: Optional[str] = None,
         injector: Optional[object] = None,
     ) -> None:
         self.index = index
@@ -96,6 +97,7 @@ class ShardWorker:
         self._semantics_name = semantics_name
         self._edge_grouping = edge_grouping
         self._backend = backend
+        self._kernel = kernel
         self._injector = injector
         self._conn = None
         self._proc: Optional[multiprocessing.process.BaseProcess] = None
@@ -196,6 +198,7 @@ class ShardWorker:
                     "semantics": self._semantics_name,
                     "edge_grouping": self._edge_grouping,
                     "backend": self._backend,
+                    "kernel": self._kernel,
                 },
             )
         )
@@ -270,6 +273,7 @@ class WorkerEngine(ShardedSpade):
         edge_grouping: bool = False,
         backend: Optional[str] = None,
         coordinator_interval: int = 1024,
+        kernel: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         request_timeout: float = 120.0,
         load_timeout: float = 600.0,
@@ -283,6 +287,7 @@ class WorkerEngine(ShardedSpade):
             edge_grouping=edge_grouping,
             backend=backend,
             coordinator_interval=coordinator_interval,
+            kernel=kernel,
         )
         self._workers: List[ShardWorker] = []
         self._local: List[Optional[Community]] = [None] * num_shards
@@ -368,6 +373,7 @@ class WorkerEngine(ShardedSpade):
                 self._semantics.name,
                 self._edge_grouping,
                 self.backend,
+                kernel=self._kernel,
                 injector=self._injector,
             )
             for index in range(self._num_shards)
