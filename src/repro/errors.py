@@ -124,6 +124,32 @@ class WorkerFallbackError(ReproError):
     """
 
 
+class HistoryError(ReproError):
+    """The time-travel / historical-analytics subsystem was misused.
+
+    Raised by :mod:`repro.history` when the cold store cannot be opened,
+    an epoch record fails its checksum, or a query is malformed (e.g. an
+    undecodable pagination cursor).
+    """
+
+
+class AsofRangeError(HistoryError):
+    """An ``asof`` sequence is outside the addressable WAL range.
+
+    Raised by :class:`repro.history.asof.AsofService` for a negative
+    sequence or one beyond the durable head — the HTTP layer answers
+    ``400``, because no amount of retrying makes an unwritten future
+    readable.  Carries the offending ``seq`` and the current ``head``.
+    """
+
+    def __init__(self, seq: int, head: int) -> None:
+        super().__init__(
+            f"asof sequence {seq} is outside the WAL range [0, {head}]"
+        )
+        self.seq = seq
+        self.head = head
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""
 

@@ -1,0 +1,69 @@
+"""``repro.history``: time travel and historical analytics over the WAL.
+
+The write-ahead log already is a total order over every accepted
+operation; this package makes it queryable along the time axis:
+
+* **As-of reads** (:mod:`repro.history.asof`) — reconstruct the graph at
+  any past WAL sequence (nearest checkpoint + suffix replay through the
+  bit-identical recovery path) and answer ``detect`` / ``communities``
+  against it, behind an LRU snapshot cache.  Exposed as
+  ``GET /v1/detect?asof=SEQ``.
+* **The cold store** (:mod:`repro.history.store`) — a checksummed SQLite
+  file holding dense-community detections at every ``epoch_interval``
+  sequences, appended idempotently by the indexer
+  (:mod:`repro.history.indexer`), which runs either inside the serving
+  app or standalone::
+
+      python -m repro.history --wal-dir ./wal --epoch-interval 64
+
+* **Analytics** (:mod:`repro.history.queries`) — window-function SQL
+  ("when did vertex X first enter a dense community", "community density
+  over time") served via ``GET /v1/history/...`` with keyset-cursor
+  pagination.
+
+Only :class:`HistoryConfig` is imported eagerly — it nests inside
+:class:`~repro.serve.config.ServeConfig` and must stay import-light; the
+heavier members load lazily on first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.history.config import HistoryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.history.asof import AsofService
+    from repro.history.indexer import HistoryIndexer, IndexerTask
+    from repro.history.store import HistoryStore
+
+__all__ = [
+    "HistoryConfig",
+    "AsofService",
+    "HistoryIndexer",
+    "IndexerTask",
+    "HistoryStore",
+]
+
+_LAZY = {
+    "AsofService": ("repro.history.asof", "AsofService"),
+    "HistoryIndexer": ("repro.history.indexer", "HistoryIndexer"),
+    "IndexerTask": ("repro.history.indexer", "IndexerTask"),
+    "HistoryStore": ("repro.history.store", "HistoryStore"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.history' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

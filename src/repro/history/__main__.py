@@ -1,0 +1,139 @@
+"""``python -m repro.history``: the standalone cold-store indexer.
+
+Usage::
+
+    python -m repro.history --wal-dir ./wal                 # catch up, exit
+    python -m repro.history --wal-dir ./wal --follow        # tail forever
+    python -m repro.history --wal-dir ./wal --verify        # checksum audit
+
+Indexes a WAL directory into its SQLite cold store without (or beside) a
+live server — the append path is idempotent, so running this while the
+serving app's background indexer is also active wastes work but corrupts
+nothing, and re-running it over an already-indexed WAL is a no-op.
+``--config`` accepts the same EngineConfig JSON the server takes, so the
+epochs are enumerated under the deployment's own semantics and backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api.config import EngineConfig
+from repro.history.config import HistoryConfig
+from repro.history.indexer import HistoryIndexer
+from repro.history.store import HistoryStore
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.history",
+        description="Index a WAL directory into its SQLite historical cold store.",
+    )
+    parser.add_argument(
+        "--wal-dir", required=True, help="WAL directory of the deployment to index"
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="EngineConfig JSON (semantics/backend the epochs are enumerated under)",
+    )
+    parser.add_argument(
+        "--history-db",
+        default=None,
+        help="cold-store SQLite file (default <wal-dir>/history.sqlite)",
+    )
+    parser.add_argument(
+        "--epoch-interval",
+        type=int,
+        default=None,
+        help="WAL sequences between detection epochs (default 64)",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the WAL instead of exiting after catch-up",
+    )
+    parser.add_argument(
+        "--poll-ms",
+        type=float,
+        default=None,
+        help="poll interval while following (default 500)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute every epoch checksum and exit (0 = all intact)",
+    )
+    return parser
+
+
+def _resolve(args: argparse.Namespace) -> tuple:
+    if args.config is not None:
+        with args.config.open("r", encoding="utf-8") as handle:
+            config = EngineConfig.from_dict(json.load(handle))
+    else:
+        config = EngineConfig()
+    serve = config.serve
+    history = (serve.history if serve is not None else None) or HistoryConfig()
+    overrides = {}
+    if args.history_db is not None:
+        overrides["db_path"] = args.history_db
+    if args.epoch_interval is not None:
+        overrides["epoch_interval"] = args.epoch_interval
+    if args.poll_ms is not None:
+        overrides["poll_ms"] = args.poll_ms
+    if overrides:
+        history = history.replace(**overrides)
+    return config, history
+
+
+def _verify(indexer: HistoryIndexer) -> int:
+    with HistoryStore(indexer.db_path) as store:
+        seqs = store.epoch_seqs()
+        bad = [seq for seq in seqs if not store.verify_epoch(seq)]
+    print(
+        f"repro.history verify: {len(seqs)} epochs, {len(bad)} corrupt"
+        + (f" ({bad})" if bad else ""),
+        flush=True,
+    )
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config, history = _resolve(args)
+    indexer = HistoryIndexer(args.wal_dir, history, config=config)
+    if args.verify:
+        return _verify(indexer)
+    try:
+        while True:
+            report = indexer.step()
+            if report["new_epochs"]:
+                print(
+                    f"repro.history indexed {report['new_epochs']} epochs "
+                    f"(last={report['last_indexed_seq']}, head={report['head_seq']}, "
+                    f"lag={report['lag']}) -> {indexer.db_path}",
+                    flush=True,
+                )
+            if not args.follow:
+                print(
+                    f"repro.history caught up at seq {report['last_indexed_seq']} "
+                    f"(head {report['head_seq']})",
+                    flush=True,
+                )
+                return 0
+            time.sleep(history.poll_ms / 1000.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""Time-travel reads: reconstruct the graph at any past WAL sequence.
+
+The write-ahead log is a total order over every accepted operation, so
+"the graph as of sequence ``S``" is fully determined: load the nearest
+checkpoint at or below ``S`` and replay the WAL records with
+``seq <= S`` through the same pool-faithful path crash recovery uses
+(:func:`repro.serve.recovery.graph_from_snapshot` + ``client.apply``
+with identical rejection-skipping).  Because that path is bit-identical
+to the original process — checkpoint zero, which carries the initial
+edge list, is never pruned — ``detect?asof=S`` equals an offline engine
+replayed through exactly the first ``S`` operations; the hypothesis
+property test in ``tests/test_history.py`` pins this across checkpoint
+boundaries.
+
+Reconstruction costs a checkpoint load plus a WAL-suffix replay, so the
+service keeps a small LRU cache of frozen :class:`CsrSnapshot` s keyed
+by sequence.  Cached reads are plain snapshot peels — the same price as
+a live ``/v1/detect``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.client import SpadeClient
+from repro.api.config import EngineConfig
+from repro.core.enumeration import CommunityInstance, enumerate_csr
+from repro.errors import AsofRangeError, ReproError
+from repro.graph.csr import CsrSnapshot
+from repro.peeling.semantics import PeelingSemantics
+from repro.peeling.static import peel_csr
+from repro.serve.recovery import CheckpointStore, graph_from_snapshot
+from repro.serve.wal import WriteAheadLog, iter_ops
+
+__all__ = ["AsofService", "paginate_instances"]
+
+
+def paginate_instances(
+    instances: List[CommunityInstance],
+    start: int,
+    limit: int,
+) -> Tuple[List[CommunityInstance], bool, Optional[int]]:
+    """Slice one page out of an enumeration fetched with one extra row.
+
+    ``instances`` must have been enumerated with ``max_instances >=
+    start + limit + 1`` so the extra row makes ``has_more`` exact.
+    Returns ``(page, has_more, next_rank)`` where ``next_rank`` is the
+    keyset position a follow-up cursor resumes after.
+    """
+    page = instances[start : start + limit]
+    has_more = len(instances) > start + limit
+    next_rank = page[-1].rank if page else None
+    return page, has_more, next_rank
+
+
+class AsofService:
+    """Reconstruct, cache, and query graph states at past WAL sequences."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        semantics: Optional[PeelingSemantics] = None,
+        cache_size: int = 8,
+        counters: Optional[Dict[str, Callable[[], None]]] = None,
+    ) -> None:
+        serve = config.serve
+        if serve is None or serve.wal_dir is None:
+            raise ReproError("as-of reads require a WAL directory")
+        self._wal_dir = Path(serve.wal_dir)
+        self._wal_path = WriteAheadLog.path_in(self._wal_dir)
+        # Replay single-engine with no serving section: the merged sharded
+        # detect is bit-identical to a single engine (the PR 3 guarantee),
+        # and a past state needs no workers, batching, or fault knobs.
+        self._config = config.replace(serve=None, shards=1)
+        self._semantics = semantics
+        self._semantics_name = (
+            semantics.name if semantics is not None else self._config.semantics
+        )
+        self._cache: "OrderedDict[int, CsrSnapshot]" = OrderedDict()
+        self._cache_size = max(1, int(cache_size))
+        self._lock = threading.Lock()
+        # Plain ints under _lock; /healthz reads them, /metrics mirrors
+        # them through the hooks below when the app wires counters in.
+        self.hits = 0
+        self.misses = 0
+        self.reconstruct_seconds = 0.0
+        self._counters = counters or {}
+
+    # ------------------------------------------------------------------ #
+    # Reconstruction
+    # ------------------------------------------------------------------ #
+    def client_at(self, seq: int) -> SpadeClient:
+        """A fresh single-engine client replayed to exactly sequence ``seq``."""
+        return self.client_with_position(seq)[0]
+
+    def client_with_position(
+        self, seq: int
+    ) -> Tuple[SpadeClient, int, int]:
+        """``(client, wal_offset, at_seq)`` replayed to sequence ``seq``.
+
+        The as-of core, shared with the history indexer (which keeps the
+        returned client resident and streams further ops into it from
+        ``wal_offset``).  ``at_seq`` is the sequence the client actually
+        reflects — equal to ``seq`` whenever the WAL reaches it.
+        """
+        store = CheckpointStore(self._wal_dir)
+        checkpoint = store.latest(max_seq=seq)
+        client = SpadeClient(self._config, semantics=self._semantics)
+        if checkpoint is not None:
+            snapshot, meta = checkpoint
+            graph = graph_from_snapshot(snapshot, backend=client.backend)
+            client.engine.load_graph(graph)
+            offset = int(meta["wal_offset"])
+            at_seq = int(meta["wal_seq"])
+            if at_seq >= seq:
+                return client, offset, at_seq  # covered exactly
+        else:
+            # No checkpoint at or below seq.  Checkpoint zero is
+            # prune-exempt, so this is a deployment that never cut one (or
+            # a pre-time-travel directory): replay the whole prefix from
+            # an empty graph, which is correct whenever the WAL is the
+            # full history.
+            client.load([])
+            offset = 0
+            at_seq = 0
+        _, offset, at_seq = self.replay_into(client, offset, seq, at_seq)
+        return client, offset, at_seq
+
+    def replay_into(
+        self, client: SpadeClient, offset: int, seq: int, at_seq: int = 0
+    ) -> Tuple[int, int, int]:
+        """Apply WAL records from byte ``offset`` with record seq <= ``seq``.
+
+        Mirrors :func:`repro.serve.recovery.recover`'s replay loop exactly
+        (same rejection-skipping), which is what keeps as-of states in
+        lockstep with what the live process computed.  Returns
+        ``(applied, next_offset, at_seq)`` where ``next_offset`` is the
+        byte just past the last applied record — the position a resident
+        client resumes streaming from.
+        """
+        applied = 0
+        if not self._wal_path.exists():
+            return applied, offset, at_seq
+        scan = iter_ops(self._wal_path, offset)
+        try:
+            for rec_seq, op in scan:
+                if rec_seq > seq:
+                    break
+                try:
+                    client.apply([op])
+                except (ReproError, TypeError, ValueError):
+                    # Deterministic engine rejection the original process
+                    # also hit (and answered 400 for); skipping reproduces
+                    # its partial effect identically.
+                    pass
+                applied += 1
+                offset = scan.next_offset
+                at_seq = rec_seq
+        finally:
+            scan.close()
+        return applied, offset, at_seq
+
+    def head_seq(self) -> int:
+        """Last durable WAL sequence, probed from disk.
+
+        The serving app passes its in-memory head instead; this probe is
+        for standalone use (bench, ``python -m repro.history``).  Starts
+        the scan at the newest checkpoint's offset so it is O(suffix).
+        """
+        store = CheckpointStore(self._wal_dir)
+        meta = store.newest_meta()
+        head = int(meta["wal_seq"]) if meta else 0
+        offset = int(meta["wal_offset"]) if meta else 0
+        if not self._wal_path.exists():
+            return head
+        scan = iter_ops(self._wal_path, offset)
+        try:
+            for rec_seq, _ in scan:
+                head = rec_seq
+        finally:
+            scan.close()
+        return head
+
+    # ------------------------------------------------------------------ #
+    # Cached snapshot access
+    # ------------------------------------------------------------------ #
+    def snapshot_at(self, seq: int, head: int) -> CsrSnapshot:
+        """Frozen snapshot of the graph at ``seq`` (LRU-cached).
+
+        ``head`` is the last durable sequence; ``seq`` outside
+        ``[0, head]`` raises :class:`~repro.errors.AsofRangeError`
+        (→ HTTP 400).  Reconstruction happens outside the lock, so two
+        concurrent cold reads of the same sequence may both pay the
+        replay — harmless, the results are identical.
+        """
+        seq = int(seq)
+        if seq < 0 or seq > head:
+            raise AsofRangeError(seq, head)
+        with self._lock:
+            cached = self._cache.get(seq)
+            if cached is not None:
+                self._cache.move_to_end(seq)
+                self.hits += 1
+                self._tick("hit")
+                return cached
+            self.misses += 1
+            self._tick("miss")
+        started = time.perf_counter()
+        client = self.client_at(seq)
+        snapshot = client.snapshot()
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.reconstruct_seconds += elapsed
+            self._cache[seq] = snapshot
+            self._cache.move_to_end(seq)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        self._tick("reconstruct", elapsed)
+        return snapshot
+
+    def _tick(self, event: str, value: float = 1.0) -> None:
+        """Fire the app-supplied metrics hook for ``event``, if any.
+
+        ``counters`` maps ``"hit"`` / ``"miss"`` / ``"reconstruct"`` to a
+        one-float callable (counter inc / histogram observe); the service
+        itself stays metrics-framework-agnostic.
+        """
+        hook = self._counters.get(event)
+        if hook is not None:
+            hook(value)
+
+    def cache_stats(self) -> Dict[str, object]:
+        """``/healthz``'s ``asof_cache`` section."""
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "capacity": self._cache_size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "reconstruct_seconds": round(self.reconstruct_seconds, 6),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Query surface (mirrors SnapshotService's response shapes + "asof")
+    # ------------------------------------------------------------------ #
+    def detect_at(self, seq: int, head: int) -> Dict[str, object]:
+        """Exact detection over the graph as of ``seq``."""
+        snapshot = self.snapshot_at(seq, head)
+        semantics = self._semantics_name
+        result = peel_csr(snapshot, semantics)
+        return {
+            "version": int(seq),
+            "asof": int(seq),
+            "community": sorted(map(str, result.community)),
+            "density": result.best_density,
+            "peel_index": result.best_index,
+            "vertices": snapshot.num_vertices,
+            "edges": snapshot.num_edges,
+            "semantics": semantics,
+            "backend": self._config.backend,
+            "shards": 1,
+            "exact": True,
+        }
+
+    def communities_at(
+        self,
+        seq: int,
+        head: int,
+        start: int = 0,
+        limit: int = 10,
+        min_density: float = 0.0,
+        min_size: int = 2,
+    ) -> Dict[str, object]:
+        """Paginated dense-instance enumeration as of ``seq``.
+
+        ``start`` is the absolute rank the page begins at (offset mode
+        passes the offset; cursor mode passes ``last_rank + 1``); the
+        HTTP layer turns ``next_rank`` into an opaque cursor token.
+        """
+        snapshot = self.snapshot_at(seq, head)
+        semantics = self._semantics_name
+        instances = enumerate_csr(
+            snapshot,
+            max_instances=start + limit + 1,
+            min_density=min_density,
+            min_size=min_size,
+            semantics_name=semantics,
+        )
+        page, has_more, next_rank = paginate_instances(instances, start, limit)
+        return {
+            "version": int(seq),
+            "asof": int(seq),
+            "limit": limit,
+            "count": len(page),
+            "communities": [
+                {
+                    "rank": instance.rank,
+                    "density": instance.density,
+                    "size": len(instance.vertices),
+                    "vertices": sorted(map(str, instance.vertices)),
+                }
+                for instance in page
+            ],
+            "has_more": has_more,
+            "next_rank": next_rank,
+        }

@@ -1,0 +1,112 @@
+"""``HistoryConfig``: knobs for time-travel reads and the cold store.
+
+Nested inside :class:`~repro.serve.config.ServeConfig` (which is itself
+nested inside :class:`~repro.api.EngineConfig`), so one JSON document
+still describes the whole deployment — engine, server, *and* the
+historical-analytics sidecar.  Mirrors the same contract: a frozen
+dataclass that validates on construction and round-trips through plain
+dicts.
+
+This module deliberately imports only :mod:`repro.errors` so that
+``repro.serve.config`` can nest it without pulling SQLite/indexer code
+into every ``import repro.api``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["HistoryConfig"]
+
+
+@dataclass(frozen=True)
+class HistoryConfig:
+    """A complete, validated historical-analytics configuration.
+
+    Attributes
+    ----------
+    db_path:
+        SQLite cold-store file.  ``None`` (the default) resolves to
+        ``<wal_dir>/history.sqlite`` when serving; the standalone indexer
+        (``python -m repro.history``) resolves it the same way.
+    epoch_interval:
+        WAL sequences between detection epochs.  The indexer reconstructs
+        the graph at every multiple of this interval and appends that
+        epoch's dense communities to the cold store.  Smaller intervals
+        give finer-grained timelines at more indexing work.
+    poll_ms:
+        How often the background indexer checks the WAL head for newly
+        due epochs.
+    asof_cache_size:
+        LRU capacity (in reconstructed snapshots) of the as-of read
+        cache.  Each entry holds one frozen
+        :class:`~repro.graph.csr.CsrSnapshot` of the graph at a past
+        sequence.
+    max_instances:
+        Communities recorded per epoch (the enumeration's
+        report-remove-repeel cycle stops there).
+    min_density / min_size:
+        Enumeration thresholds for what counts as a dense community in
+        the cold store.  Epoch rows are only comparable across an
+        unchanged threshold pair, so pick them per deployment and keep
+        them.
+    """
+
+    db_path: Optional[str] = None
+    epoch_interval: int = 64
+    poll_ms: float = 500.0
+    asof_cache_size: int = 8
+    max_instances: int = 20
+    min_density: float = 0.0
+    min_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.db_path is not None and not isinstance(self.db_path, str):
+            raise ConfigError(
+                f"db_path must be a string path or None, got {self.db_path!r}"
+            )
+        if self.epoch_interval < 1:
+            raise ConfigError(
+                f"epoch_interval must be >= 1, got {self.epoch_interval}"
+            )
+        if self.poll_ms <= 0:
+            raise ConfigError(f"poll_ms must be > 0, got {self.poll_ms}")
+        if self.asof_cache_size < 1:
+            raise ConfigError(
+                f"asof_cache_size must be >= 1, got {self.asof_cache_size}"
+            )
+        if self.max_instances < 1:
+            raise ConfigError(
+                f"max_instances must be >= 1, got {self.max_instances}"
+            )
+        if self.min_density < 0:
+            raise ConfigError(f"min_density must be >= 0, got {self.min_density}")
+        if self.min_size < 1:
+            raise ConfigError(f"min_size must be >= 1, got {self.min_size}")
+
+    # ------------------------------------------------------------------ #
+    # Round-tripping (mirrors ServeConfig's contract)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Export as a plain JSON-serialisable dict (all knobs, always)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HistoryConfig":
+        """Build (and validate) a config from a dict; unknown keys fail."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown HistoryConfig keys: {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes: object) -> "HistoryConfig":
+        """Return a copy with the given knobs changed (re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

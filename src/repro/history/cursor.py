@@ -1,0 +1,63 @@
+"""Opaque keyset-pagination cursors.
+
+A cursor is the base64url encoding of a compact JSON object carrying a
+``k`` kind tag plus the keyset position of the last row the client saw
+(e.g. ``{"k": "communities", "rank": 4}``).  Clients treat the token as
+opaque — the encoding is an implementation detail that may change — and
+the decoder enforces the kind tag so a cursor minted by one endpoint
+cannot silently page a different one.
+
+Keyset pagination (``WHERE key > last_seen ORDER BY key LIMIT n``) keeps
+page cost independent of page depth and stays stable under concurrent
+appends, unlike ``OFFSET`` which re-skips (and re-counts) everything
+before the page on every request.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Dict, Optional
+
+from repro.errors import HistoryError
+
+__all__ = ["encode_cursor", "decode_cursor", "cursor_int"]
+
+
+def encode_cursor(kind: str, **position: object) -> str:
+    """Mint an opaque cursor token for ``kind`` at ``position``."""
+    payload = {"k": kind}
+    payload.update(position)
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("ascii")
+    return base64.urlsafe_b64encode(raw).rstrip(b"=").decode("ascii")
+
+
+def decode_cursor(token: str, kind: str) -> Dict[str, object]:
+    """Decode ``token``, requiring kind ``kind``; the position dict.
+
+    Raises :class:`~repro.errors.HistoryError` (→ HTTP 400) for garbage
+    tokens or a kind mismatch — a client pasting a cursor across
+    endpoints gets an explicit error, not a silently wrong page.
+    """
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        payload = json.loads(raw.decode("ascii"))
+    except (ValueError, binascii.Error, UnicodeError) as exc:
+        raise HistoryError(f"undecodable cursor token: {token!r}") from exc
+    if not isinstance(payload, dict) or payload.get("k") != kind:
+        raise HistoryError(
+            f"cursor token is not a {kind!r} cursor: {token!r}"
+        )
+    position = dict(payload)
+    position.pop("k", None)
+    return position
+
+
+def cursor_int(position: Dict[str, object], key: str) -> int:
+    """Integer field ``key`` out of a decoded cursor (400 on anything else)."""
+    value = position.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise HistoryError(f"cursor field {key!r} must be an integer, got {value!r}")
+    return value

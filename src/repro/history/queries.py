@@ -1,0 +1,233 @@
+"""Window-function analytics over the cold store, keyset-paginated.
+
+Read side of :mod:`repro.history.store`: every function takes an open
+SQLite connection (the HTTP layer opens one per request in a worker
+thread), returns plain dicts, and pages with opaque keyset cursors
+(:mod:`repro.history.cursor`).
+
+The window functions are computed in an inner query over the *full*
+filtered set and the keyset predicate is applied outside, so ``LAG``
+deltas and ``ROW_NUMBER`` positions are identical no matter how the
+result is paged — a cursor boundary never turns a real delta into a
+NULL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional
+
+from repro.errors import HistoryError
+from repro.history.cursor import cursor_int, decode_cursor, encode_cursor
+
+__all__ = [
+    "vertex_first_entry",
+    "vertex_history",
+    "community_timeline",
+    "epochs_page",
+]
+
+
+def _page(rows: List[Dict[str, object]], limit: int) -> bool:
+    """Trim the one-extra probe row; True when a further page exists."""
+    if len(rows) > limit:
+        del rows[limit:]
+        return True
+    return False
+
+
+def vertex_first_entry(
+    conn: sqlite3.Connection,
+    vertex: str,
+    min_density: float = 0.0,
+    min_size: int = 1,
+) -> Optional[Dict[str, object]]:
+    """When did ``vertex`` first enter a dense community?
+
+    The paper's post-hoc forensic question: given a flagged account,
+    find the epoch its fraud neighbourhood first condensed.  ``None``
+    when the vertex never appears above the thresholds.
+    """
+    row = conn.execute(
+        """
+        SELECT epoch_seq, rank, density, size, total_epochs FROM (
+            SELECT m.epoch_seq, m.rank, c.density, c.size,
+                   ROW_NUMBER() OVER (ORDER BY m.epoch_seq, m.rank) AS rn,
+                   COUNT(*) OVER () AS total_epochs
+            FROM memberships m
+            JOIN communities c
+              ON c.epoch_seq = m.epoch_seq AND c.rank = m.rank
+            WHERE m.vertex = ? AND c.density >= ? AND c.size >= ?
+        ) WHERE rn = 1
+        """,
+        (str(vertex), min_density, min_size),
+    ).fetchone()
+    if row is None:
+        return None
+    return {
+        "vertex": str(vertex),
+        "first_seq": int(row[0]),
+        "rank": int(row[1]),
+        "density": float(row[2]),
+        "size": int(row[3]),
+        "dense_epochs": int(row[4]),
+    }
+
+
+def vertex_history(
+    conn: sqlite3.Connection,
+    vertex: str,
+    cursor: Optional[str] = None,
+    limit: int = 50,
+    min_density: float = 0.0,
+    min_size: int = 1,
+) -> Dict[str, object]:
+    """Every dense-community appearance of ``vertex``, oldest first.
+
+    Each row carries ``seqs_since_prev`` (``LAG`` over the full history)
+    — the gap since the vertex's previous dense appearance, NULL on the
+    first.  Keyset-paged on ``(epoch_seq, rank)``.
+    """
+    after_seq, after_rank = -1, -1
+    if cursor is not None:
+        position = decode_cursor(cursor, "vertex-history")
+        after_seq = cursor_int(position, "seq")
+        after_rank = cursor_int(position, "rank")
+    rows = [
+        {
+            "epoch_seq": int(seq),
+            "rank": int(rank),
+            "density": float(density),
+            "size": int(size),
+            "seqs_since_prev": int(gap) if gap is not None else None,
+        }
+        for seq, rank, density, size, gap in conn.execute(
+            """
+            SELECT epoch_seq, rank, density, size, gap FROM (
+                SELECT m.epoch_seq, m.rank, c.density, c.size,
+                       m.epoch_seq - LAG(m.epoch_seq)
+                           OVER (ORDER BY m.epoch_seq, m.rank) AS gap
+                FROM memberships m
+                JOIN communities c
+                  ON c.epoch_seq = m.epoch_seq AND c.rank = m.rank
+                WHERE m.vertex = ? AND c.density >= ? AND c.size >= ?
+            )
+            WHERE (epoch_seq, rank) > (?, ?)
+            ORDER BY epoch_seq, rank LIMIT ?
+            """,
+            (str(vertex), min_density, min_size, after_seq, after_rank, limit + 1),
+        ).fetchall()
+    ]
+    has_more = _page(rows, limit)
+    next_cursor = (
+        encode_cursor(
+            "vertex-history",
+            seq=rows[-1]["epoch_seq"],
+            rank=rows[-1]["rank"],
+        )
+        if has_more and rows
+        else None
+    )
+    first = vertex_first_entry(conn, vertex, min_density, min_size)
+    return {
+        "vertex": str(vertex),
+        "first_entry": first,
+        "count": len(rows),
+        "appearances": rows,
+        "has_more": has_more,
+        "next_cursor": next_cursor,
+    }
+
+
+def community_timeline(
+    conn: sqlite3.Connection,
+    rank: int = 0,
+    cursor: Optional[str] = None,
+    limit: int = 50,
+) -> Dict[str, object]:
+    """Size and density of the rank-``rank`` community, epoch over epoch.
+
+    ``density_delta`` / ``size_delta`` are ``LAG`` differences over the
+    full timeline — the burst signature the paper's fraud campaigns show
+    (density jumping between adjacent epochs).  Keyset-paged on
+    ``epoch_seq``.
+    """
+    if rank < 0:
+        raise HistoryError(f"rank must be >= 0, got {rank}")
+    after_seq = -1
+    if cursor is not None:
+        position = decode_cursor(cursor, "community-timeline")
+        after_seq = cursor_int(position, "seq")
+    rows = [
+        {
+            "epoch_seq": int(seq),
+            "density": float(density),
+            "size": int(size),
+            "density_delta": float(d_delta) if d_delta is not None else None,
+            "size_delta": int(s_delta) if s_delta is not None else None,
+        }
+        for seq, density, size, d_delta, s_delta in conn.execute(
+            """
+            SELECT epoch_seq, density, size, density_delta, size_delta FROM (
+                SELECT epoch_seq, density, size,
+                       density - LAG(density) OVER w AS density_delta,
+                       size - LAG(size) OVER w AS size_delta
+                FROM communities WHERE rank = ?
+                WINDOW w AS (ORDER BY epoch_seq)
+            )
+            WHERE epoch_seq > ? ORDER BY epoch_seq LIMIT ?
+            """,
+            (rank, after_seq, limit + 1),
+        ).fetchall()
+    ]
+    has_more = _page(rows, limit)
+    next_cursor = (
+        encode_cursor("community-timeline", seq=rows[-1]["epoch_seq"])
+        if has_more and rows
+        else None
+    )
+    return {
+        "rank": rank,
+        "count": len(rows),
+        "timeline": rows,
+        "has_more": has_more,
+        "next_cursor": next_cursor,
+    }
+
+
+def epochs_page(
+    conn: sqlite3.Connection,
+    cursor: Optional[str] = None,
+    limit: int = 50,
+) -> Dict[str, object]:
+    """The epoch catalogue (graph shape + community count per epoch)."""
+    after_seq = -1
+    if cursor is not None:
+        position = decode_cursor(cursor, "epochs")
+        after_seq = cursor_int(position, "seq")
+    rows = [
+        {
+            "seq": int(seq),
+            "indexed_at": indexed_at,
+            "num_vertices": int(nv),
+            "num_edges": int(ne),
+            "num_communities": int(nc),
+        }
+        for seq, indexed_at, nv, ne, nc in conn.execute(
+            """
+            SELECT seq, indexed_at, num_vertices, num_edges, num_communities
+            FROM epochs WHERE seq > ? ORDER BY seq LIMIT ?
+            """,
+            (after_seq, limit + 1),
+        ).fetchall()
+    ]
+    has_more = _page(rows, limit)
+    next_cursor = (
+        encode_cursor("epochs", seq=rows[-1]["seq"]) if has_more and rows else None
+    )
+    return {
+        "count": len(rows),
+        "epochs": rows,
+        "has_more": has_more,
+        "next_cursor": next_cursor,
+    }

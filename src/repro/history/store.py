@@ -1,0 +1,297 @@
+"""The SQLite historical-analytics cold store.
+
+One file (default ``<wal_dir>/history.sqlite``) holds the detection
+history of one deployment: every ``epoch_interval`` WAL sequences the
+indexer reconstructs the graph at that sequence, enumerates its dense
+communities, and appends them here.  The schema follows the SQLite
+discipline of the article-index exemplar (SNIPPETS.md §1): pragmas
+``journal_mode=WAL`` / ``synchronous=NORMAL`` / ``busy_timeout`` /
+``foreign_keys=ON``, UTC ISO-8601 text timestamps, integer 0/1 booleans.
+
+Tables
+------
+``meta``
+    One row per indexing knob (``epoch_interval``, thresholds,
+    semantics).  Verified on every open: epoch rows are only comparable
+    across unchanged knobs, so re-indexing with different ones into the
+    same file is refused instead of silently mixing timelines.
+``epochs``
+    One row per indexed epoch, keyed by its WAL sequence, carrying the
+    graph shape at that sequence and a CRC32 checksum over the canonical
+    serialisation of the epoch's communities — the idempotency witness.
+``communities``
+    One row per dense community per epoch (``rank`` is enumeration
+    order: rank 0 is the densest instance).
+``memberships``
+    One row per (epoch, community, vertex) — the join table "when did
+    vertex X first enter a dense community" queries walk.
+``vertex_spans``
+    Materialized per-vertex summary (first/last dense epoch, dense-epoch
+    count), maintained transactionally with each epoch append.
+
+Crash safety is SQLite's: :meth:`HistoryStore.record_epoch` writes each
+epoch in **one transaction**, so a ``kill -9`` mid-epoch rolls back to
+the previous epoch boundary and the restarted indexer resumes from
+``last_indexed_seq()`` — no duplicated rows, no skipped epochs (the CI
+``history`` job proves exactly this).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import HistoryError
+
+__all__ = ["HistoryStore", "connect", "canonical_epoch_payload", "HISTORY_FILENAME"]
+
+#: Default cold-store file name inside ``wal_dir``.
+HISTORY_FILENAME = "history.sqlite"
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS epochs (
+    seq             INTEGER PRIMARY KEY,
+    indexed_at      TEXT    NOT NULL,
+    num_vertices    INTEGER NOT NULL,
+    num_edges       INTEGER NOT NULL,
+    num_communities INTEGER NOT NULL,
+    checksum        INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS communities (
+    epoch_seq INTEGER NOT NULL REFERENCES epochs(seq) ON DELETE CASCADE,
+    rank      INTEGER NOT NULL,
+    density   REAL    NOT NULL,
+    size      INTEGER NOT NULL,
+    PRIMARY KEY (epoch_seq, rank)
+);
+CREATE TABLE IF NOT EXISTS memberships (
+    epoch_seq INTEGER NOT NULL,
+    rank      INTEGER NOT NULL,
+    vertex    TEXT    NOT NULL,
+    PRIMARY KEY (epoch_seq, rank, vertex),
+    FOREIGN KEY (epoch_seq, rank)
+        REFERENCES communities(epoch_seq, rank) ON DELETE CASCADE
+);
+CREATE INDEX IF NOT EXISTS idx_memberships_vertex
+    ON memberships(vertex, epoch_seq);
+CREATE TABLE IF NOT EXISTS vertex_spans (
+    vertex       TEXT PRIMARY KEY,
+    first_seq    INTEGER NOT NULL,
+    last_seq     INTEGER NOT NULL,
+    dense_epochs INTEGER NOT NULL
+);
+"""
+
+
+def connect(path: PathLike) -> sqlite3.Connection:
+    """Open the cold store with the standard pragma discipline applied."""
+    conn = sqlite3.connect(str(path), timeout=30.0)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA busy_timeout=30000")
+    conn.execute("PRAGMA foreign_keys=ON")
+    return conn
+
+
+def canonical_epoch_payload(
+    instances: Sequence[Tuple[int, float, Sequence[str]]]
+) -> bytes:
+    """The byte string an epoch's checksum is computed over.
+
+    ``instances`` is ``[(rank, density, sorted_vertex_labels), ...]`` in
+    rank order.  The serialisation is canonical (sorted labels, compact
+    separators, ``repr``-exact floats via ``json``), so re-indexing the
+    same WAL prefix reproduces the same checksum bit for bit — which is
+    what lets the idempotency check distinguish a benign re-run from a
+    diverging one.
+    """
+    rows = [
+        [int(rank), float(density), [str(v) for v in vertices]]
+        for rank, density, vertices in instances
+    ]
+    return json.dumps(rows, separators=(",", ":")).encode("utf-8")
+
+
+class HistoryStore:
+    """Writer-side handle on one cold-store file (schema + epoch appends)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = connect(self.path)
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise HistoryError(f"cannot open history store {self.path}: {exc}") from exc
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        return self._conn
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Indexing-knob guard
+    # ------------------------------------------------------------------ #
+    def ensure_meta(self, expected: Mapping[str, object]) -> None:
+        """Record the indexing knobs on first use; refuse a mismatch later.
+
+        Epoch rows indexed under one ``(epoch_interval, thresholds,
+        semantics)`` tuple are meaningless next to rows from another, so
+        a knob change requires a fresh database file.
+        """
+        stored = dict(
+            self._conn.execute("SELECT key, value FROM meta").fetchall()
+        )
+        mismatches = []
+        with self._conn:
+            for key, value in expected.items():
+                text = json.dumps(value)
+                if key not in stored:
+                    self._conn.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?)", (key, text)
+                    )
+                elif stored[key] != text:
+                    mismatches.append(f"{key}: stored {stored[key]} != {text}")
+        if mismatches:
+            raise HistoryError(
+                f"{self.path} was indexed with different knobs "
+                f"({'; '.join(mismatches)}); use a fresh db_path to re-index"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Epoch appends
+    # ------------------------------------------------------------------ #
+    def last_indexed_seq(self) -> int:
+        """WAL sequence of the newest indexed epoch (0 when empty)."""
+        row = self._conn.execute("SELECT MAX(seq) FROM epochs").fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+
+    def epoch_count(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM epochs").fetchone()
+        return int(row[0])
+
+    def epoch_seqs(self) -> List[int]:
+        """All indexed epoch sequences, ascending."""
+        return [
+            int(seq)
+            for (seq,) in self._conn.execute(
+                "SELECT seq FROM epochs ORDER BY seq"
+            ).fetchall()
+        ]
+
+    def record_epoch(
+        self,
+        seq: int,
+        num_vertices: int,
+        num_edges: int,
+        instances: Sequence[Tuple[int, float, Sequence[str]]],
+    ) -> bool:
+        """Append one epoch atomically; idempotent keyed by ``seq``.
+
+        ``instances`` is ``[(rank, density, sorted_vertex_labels), ...]``.
+        Returns ``True`` when the epoch was written, ``False`` when an
+        identical epoch (same checksum) already exists — the resume path
+        after a crash or a standalone re-index.  An existing epoch whose
+        checksum **differs** raises :class:`~repro.errors.HistoryError`:
+        the same WAL prefix can only ever enumerate one answer, so a
+        mismatch means corruption or a knob change, never business as
+        usual.
+        """
+        checksum = zlib.crc32(canonical_epoch_payload(instances))
+        existing = self._conn.execute(
+            "SELECT checksum FROM epochs WHERE seq = ?", (seq,)
+        ).fetchone()
+        if existing is not None:
+            if int(existing[0]) != checksum:
+                raise HistoryError(
+                    f"epoch {seq} already indexed with checksum {existing[0]}, "
+                    f"re-index produced {checksum}; the WAL prefix or the "
+                    f"indexing knobs changed"
+                )
+            return False
+        indexed_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        try:
+            with self._conn:  # one transaction: all of the epoch or none
+                self._conn.execute(
+                    "INSERT INTO epochs (seq, indexed_at, num_vertices, "
+                    "num_edges, num_communities, checksum) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (seq, indexed_at, num_vertices, num_edges, len(instances), checksum),
+                )
+                for rank, density, vertices in instances:
+                    self._conn.execute(
+                        "INSERT INTO communities (epoch_seq, rank, density, size) "
+                        "VALUES (?, ?, ?, ?)",
+                        (seq, rank, float(density), len(vertices)),
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO memberships (epoch_seq, rank, vertex) "
+                        "VALUES (?, ?, ?)",
+                        [(seq, rank, str(vertex)) for vertex in vertices],
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO vertex_spans "
+                        "(vertex, first_seq, last_seq, dense_epochs) "
+                        "VALUES (?, ?, ?, 1) "
+                        "ON CONFLICT(vertex) DO UPDATE SET "
+                        "last_seq = excluded.last_seq, "
+                        "dense_epochs = dense_epochs + 1",
+                        [(str(vertex), seq, seq) for vertex in vertices],
+                    )
+        except sqlite3.IntegrityError as exc:
+            # Two indexers racing on the same seq: the loser's transaction
+            # rolled back whole; the winner's epoch is the one truth.
+            raise HistoryError(f"concurrent index of epoch {seq}: {exc}") from exc
+        return True
+
+    def verify_epoch(self, seq: int) -> bool:
+        """Recompute epoch ``seq``'s checksum from its rows; True if intact."""
+        head = self._conn.execute(
+            "SELECT checksum FROM epochs WHERE seq = ?", (seq,)
+        ).fetchone()
+        if head is None:
+            raise HistoryError(f"epoch {seq} is not in the store")
+        instances = []
+        for rank, density in self._conn.execute(
+            "SELECT rank, density FROM communities WHERE epoch_seq = ? ORDER BY rank",
+            (seq,),
+        ).fetchall():
+            vertices = [
+                vertex
+                for (vertex,) in self._conn.execute(
+                    "SELECT vertex FROM memberships "
+                    "WHERE epoch_seq = ? AND rank = ? ORDER BY vertex",
+                    (seq, rank),
+                ).fetchall()
+            ]
+            instances.append((rank, density, vertices))
+        return zlib.crc32(canonical_epoch_payload(instances)) == int(head[0])
+
+    def stats(self) -> Dict[str, object]:
+        """Operational summary (``/healthz``'s ``history`` section)."""
+        return {
+            "epochs": self.epoch_count(),
+            "last_indexed_seq": self.last_indexed_seq(),
+            "vertices_tracked": int(
+                self._conn.execute("SELECT COUNT(*) FROM vertex_spans").fetchone()[0]
+            ),
+        }

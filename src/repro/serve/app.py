@@ -14,10 +14,17 @@ store, ingest gateway and snapshot service around one shared
                             ``Retry-After`` while read-only degraded (WAL
                             unwritable — reads keep serving)
 ``POST /v1/flush``          force-flush deferred work (ordering barrier)
-``GET /v1/detect``          exact detection from the current snapshot
-``GET /v1/communities``     dense instances, ``offset``/``limit`` paginated
+``GET /v1/detect``          exact detection from the current snapshot, or a
+                            past one with ``?asof=SEQ`` (time travel over the
+                            WAL; 400 beyond the durable head)
+``GET /v1/communities``     dense instances, ``offset``/``limit`` or keyset
+                            ``cursor`` paginated; supports ``?asof=SEQ``
 ``GET /v1/vertices/{v}``    per-vertex stats from the current snapshot
-``GET /healthz``            liveness + engine shape
+``GET /v1/history/...``     cold-store analytics (``epochs``, ``communities``
+                            timeline, ``vertices/{v}``), keyset paginated;
+                            requires ``serve.history``
+``GET /healthz``            liveness + engine shape + WAL/checkpoint/indexer
+                            positions
 ``GET /metrics``            Prometheus text exposition
 ==========================  =====================================================
 
@@ -39,6 +46,12 @@ from repro._version import __version__
 from repro.api.config import EngineConfig
 from repro.errors import DegradedError, ReproError
 from repro.graph.delta import EdgeUpdate
+from repro.history import queries as history_queries
+from repro.history.asof import AsofService
+from repro.history.cursor import cursor_int, decode_cursor, encode_cursor
+from repro.history.indexer import HistoryIndexer, IndexerTask, resolve_db_path
+from repro.history.store import HistoryStore
+from repro.history.store import connect as history_connect
 from repro.peeling.semantics import PeelingSemantics
 from repro.serve.config import ServeConfig
 from repro.serve.ingest import IngestGateway
@@ -240,6 +253,7 @@ class ServeApp:
         # --- durability ----------------------------------------------- #
         self._wal: Optional[WriteAheadLog] = None
         self._checkpoints: Optional[CheckpointStore] = None
+        self._checkpoint_seq: Optional[int] = None
         if self.serve_config.wal_dir is not None:
             self._checkpoints = CheckpointStore(
                 self.serve_config.wal_dir, injector=self._injector
@@ -255,6 +269,64 @@ class ServeApp:
                 # First boot: cut checkpoint zero so recovery never needs
                 # the initial edge list again.
                 self._cut_checkpoint(0, 0)
+            if self._checkpoint_seq is None:
+                self._checkpoint_seq = self._checkpoints.newest_seq()
+
+        # --- time travel + historical analytics ------------------------ #
+        self.asof: Optional[AsofService] = None
+        self._indexer_task: Optional[IndexerTask] = None
+        self.history_db: Optional[Path] = None
+        history_cfg = self.serve_config.history
+        if self.serve_config.wal_dir is not None:
+            # As-of reads only need the WAL + checkpoints, so they are on
+            # whenever durability is — the history sidecar is opt-in.
+            m_hits = self.metrics.counter(
+                "repro_asof_cache_hits_total", "As-of snapshot cache hits"
+            )
+            m_misses = self.metrics.counter(
+                "repro_asof_cache_misses_total", "As-of snapshot cache misses"
+            )
+            m_reconstruct = self.metrics.histogram(
+                "repro_asof_reconstruct_seconds",
+                "Cold as-of reconstructions (checkpoint load + WAL-suffix replay)",
+            )
+            self.asof = AsofService(
+                config,
+                semantics=semantics,
+                cache_size=(
+                    history_cfg.asof_cache_size if history_cfg is not None else 8
+                ),
+                counters={
+                    "hit": m_hits.inc,
+                    "miss": m_misses.inc,
+                    "reconstruct": m_reconstruct.observe,
+                },
+            )
+            if history_cfg is not None:
+                self.history_db = resolve_db_path(
+                    self.serve_config.wal_dir, history_cfg
+                )
+                # Create the schema now so /v1/history answers (empty)
+                # before the indexer's first poll instead of racing it.
+                HistoryStore(self.history_db).close()
+                self._m_history_epochs = self.metrics.counter(
+                    "repro_history_epochs_total",
+                    "Epochs this process appended to the cold store",
+                )
+                self._m_history_lag = self.metrics.gauge(
+                    "repro_history_indexer_lag",
+                    "WAL sequences between the durable head and the last indexed epoch",
+                )
+                self._indexer_task = IndexerTask(
+                    HistoryIndexer(
+                        self.serve_config.wal_dir,
+                        history_cfg,
+                        config=config,
+                        semantics=semantics,
+                    ),
+                    history_cfg.poll_ms,
+                    on_step=self._on_index_step,
+                )
 
         self.gateway = IngestGateway(
             self.client,
@@ -292,12 +364,21 @@ class ServeApp:
         assert self._checkpoints is not None
         try:
             self._checkpoints.save(self.client.snapshot(), wal_seq, wal_offset)
+            self._checkpoint_seq = wal_seq
         except OSError:
             self.checkpoint_errors += 1
+
+    def _on_index_step(self, report: Mapping[str, int]) -> None:
+        """Fold one indexer poll into the metrics (loop thread)."""
+        if report["new_epochs"]:
+            self._m_history_epochs.inc(report["new_epochs"])
+        self._m_history_lag.set(report["lag"])
 
     async def start(self) -> None:
         """Start the writer task and the HTTP listener; publish runinfo."""
         self.gateway.start(initial_seq=self._initial_seq)
+        if self._indexer_task is not None:
+            self._indexer_task.start()
         await self.server.start()
         if self.serve_config.wal_dir is not None:
             runinfo = {
@@ -313,6 +394,8 @@ class ServeApp:
         """Stop listening, drain pending writes, sync the WAL."""
         await self.server.stop()
         await self.gateway.stop()
+        if self._indexer_task is not None:
+            await self._indexer_task.stop()
         if self._wal is not None:
             self._wal.sync()
             self._wal.close()
@@ -345,6 +428,17 @@ class ServeApp:
             if path.startswith("/v1/vertices/"):
                 self._require(request, "GET")
                 return await self._handle_vertex(request, path[len("/v1/vertices/"):])
+            if path == "/v1/history/epochs":
+                self._require(request, "GET")
+                return await self._handle_history_epochs(request)
+            if path == "/v1/history/communities":
+                self._require(request, "GET")
+                return await self._handle_history_communities(request)
+            if path.startswith("/v1/history/vertices/"):
+                self._require(request, "GET")
+                return await self._handle_history_vertex(
+                    request, path[len("/v1/history/vertices/"):]
+                )
         except DegradedError as exc:
             raise self._degraded_http(exc) from exc
         except ReproError as exc:
@@ -431,7 +525,33 @@ class ServeApp:
     # ------------------------------------------------------------------ #
     # Read path
     # ------------------------------------------------------------------ #
+    def _asof_seq(self, request: Request) -> Optional[int]:
+        """The validated ``asof`` query parameter, or None when absent.
+
+        Only integer syntax is checked here — range validation (negative,
+        beyond the durable head) lives in
+        :meth:`~repro.history.asof.AsofService.snapshot_at`, which knows
+        the head and raises :class:`~repro.errors.AsofRangeError` → 400.
+        """
+        raw = request.query.get("asof")
+        if raw is None:
+            return None
+        try:
+            seq = int(raw)
+        except ValueError:
+            raise HttpError(400, f"query parameter asof must be an integer, got {raw!r}")
+        if self.asof is None:
+            raise HttpError(400, "asof reads require a WAL directory (serve.wal_dir)")
+        return seq
+
     async def _handle_detect(self, request: Request) -> Response:
+        asof_seq = self._asof_seq(request)
+        if asof_seq is not None:
+            head = self.gateway.seq
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, self.asof.detect_at, asof_seq, head
+            )
+            return json_response(200, report)
         began = time.perf_counter()
         report = await self.service.detect()
         self._m_detect_latency.observe(time.perf_counter() - began)
@@ -443,8 +563,45 @@ class ServeApp:
         limit = _int_query(request, "limit", 10, 1, 1000)
         min_density = _float_query(request, "min_density", 0.0)
         min_size = _int_query(request, "min_size", 2, 1, 10**6)
-        report = await self.service.communities(
-            offset=offset, limit=limit, min_density=min_density, min_size=min_size
+        after_rank: Optional[int] = None
+        cursor_token = request.query.get("cursor")
+        if cursor_token is not None:
+            # Keyset mode: the opaque token supersedes any offset.
+            position = decode_cursor(cursor_token, "communities")
+            after_rank = cursor_int(position, "rank")
+            if after_rank < 0:
+                raise HttpError(400, f"cursor rank must be >= 0, got {after_rank}")
+        asof_seq = self._asof_seq(request)
+        if asof_seq is not None:
+            head = self.gateway.seq
+            start = offset if after_rank is None else after_rank + 1
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                None,
+                lambda: self.asof.communities_at(
+                    asof_seq,
+                    head,
+                    start=start,
+                    limit=limit,
+                    min_density=min_density,
+                    min_size=min_size,
+                ),
+            )
+            if after_rank is None:
+                report["offset"] = offset
+        else:
+            report = await self.service.communities(
+                offset=offset,
+                limit=limit,
+                min_density=min_density,
+                min_size=min_size,
+                after_rank=after_rank,
+            )
+        next_rank = report.pop("next_rank", None)
+        report["next_cursor"] = (
+            encode_cursor("communities", rank=next_rank)
+            if report.get("has_more") and next_rank is not None
+            else None
         )
         return json_response(200, report)
 
@@ -455,6 +612,66 @@ class ServeApp:
         if info is None:
             raise HttpError(404, f"unknown vertex {label!r}")
         return json_response(200, info)
+
+    # ------------------------------------------------------------------ #
+    # Historical analytics (the SQLite cold store)
+    # ------------------------------------------------------------------ #
+    async def _history_query(self, fn, *args, **kwargs) -> Response:
+        """Run one cold-store query off the loop on a per-request connection.
+
+        SQLite connections are cheap to open and thread-affine, so each
+        request opens/uses/closes one inside a single executor thread —
+        no pooling, no cross-thread handles, and the indexer's WAL-mode
+        writer never blocks these readers.
+        """
+        if self.history_db is None:
+            raise HttpError(
+                404,
+                "historical analytics are not enabled "
+                "(configure serve.history / --history-db)",
+            )
+        path = self.history_db
+
+        def _run():
+            conn = history_connect(path)
+            try:
+                return fn(conn, *args, **kwargs)
+            finally:
+                conn.close()
+
+        report = await asyncio.get_running_loop().run_in_executor(None, _run)
+        return json_response(200, report)
+
+    async def _handle_history_epochs(self, request: Request) -> Response:
+        limit = _int_query(request, "limit", 50, 1, 1000)
+        cursor = request.query.get("cursor")
+        return await self._history_query(
+            history_queries.epochs_page, cursor=cursor, limit=limit
+        )
+
+    async def _handle_history_communities(self, request: Request) -> Response:
+        rank = _int_query(request, "rank", 0, 0, 10**6)
+        limit = _int_query(request, "limit", 50, 1, 1000)
+        cursor = request.query.get("cursor")
+        return await self._history_query(
+            history_queries.community_timeline, rank=rank, cursor=cursor, limit=limit
+        )
+
+    async def _handle_history_vertex(self, request: Request, label: str) -> Response:
+        if not label:
+            raise HttpError(404, "missing vertex label")
+        limit = _int_query(request, "limit", 50, 1, 1000)
+        min_density = _float_query(request, "min_density", 0.0)
+        min_size = _int_query(request, "min_size", 1, 1, 10**6)
+        cursor = request.query.get("cursor")
+        return await self._history_query(
+            history_queries.vertex_history,
+            label,
+            cursor=cursor,
+            limit=limit,
+            min_density=min_density,
+            min_size=min_size,
+        )
 
     # ------------------------------------------------------------------ #
     # Operational endpoints
@@ -488,6 +705,14 @@ class ServeApp:
         if self.checkpoint_errors:
             payload["checkpoint_errors"] = self.checkpoint_errors
         payload["wal_errors"] = int(self.metrics.get("repro_wal_errors_total").value)
+        if self._wal is not None:
+            payload["wal_seq"] = self.gateway.seq
+        if self._checkpoint_seq is not None:
+            payload["checkpoint_seq"] = self._checkpoint_seq
+        if self.asof is not None:
+            payload["asof_cache"] = self.asof.cache_stats()
+        if self._indexer_task is not None:
+            payload["history"] = self._indexer_task.status()
         if self._worker_engine is not None:
             payload["workers"] = {
                 "count": self._worker_engine.num_shards,
@@ -503,6 +728,8 @@ class ServeApp:
         self._m_vertices.set(graph.num_vertices())
         self._m_edges.set(graph.num_edges())
         self._m_version.set(self.service.version)
+        if self._indexer_task is not None:
+            self._m_history_lag.set(self._indexer_task.lag)
         return Response(
             200,
             self.metrics.render().encode("utf-8"),

@@ -68,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection plan JSON (repro.serve.faults) — chaos testing only",
     )
     parser.add_argument(
+        "--history-db",
+        default=None,
+        help="enable the historical-analytics indexer, writing epochs to this "
+        "SQLite file ('auto' = <wal-dir>/history.sqlite)",
+    )
+    parser.add_argument(
+        "--epoch-interval",
+        type=int,
+        default=None,
+        help="WAL sequences between cold-store detection epochs (default 64; "
+        "implies --history-db auto)",
+    )
+    parser.add_argument(
         "--load",
         type=Path,
         default=None,
@@ -107,6 +120,15 @@ def _resolve_config(args: argparse.Namespace) -> EngineConfig:
         overrides["workers"] = args.workers
     if args.faults is not None:
         overrides["faults"] = args.faults
+    if args.history_db is not None or args.epoch_interval is not None:
+        from repro.history.config import HistoryConfig
+
+        history = serve.history if serve.history is not None else HistoryConfig()
+        if args.history_db is not None and args.history_db != "auto":
+            history = history.replace(db_path=args.history_db)
+        if args.epoch_interval is not None:
+            history = history.replace(epoch_interval=args.epoch_interval)
+        overrides["history"] = history
     if overrides:
         serve = serve.replace(**overrides)
     config = config.replace(serve=serve)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigError
+from repro.history.config import HistoryConfig
 
 __all__ = ["ServeConfig"]
 
@@ -78,6 +79,13 @@ class ServeConfig:
         WAL appends, checkpoint saves, and worker pipes run through a
         deterministic :class:`~repro.serve.faults.FaultInjector` — the
         chaos-testing hook behind ``--faults`` and the CI chaos smoke.
+    history:
+        Historical-analytics sidecar (:class:`repro.history.HistoryConfig`)
+        or ``None`` (default: no background indexer, no ``/v1/history``
+        endpoints).  As-of reads (``?asof=SEQ``) only need a ``wal_dir``
+        and work either way.  A plain mapping coerces via
+        ``HistoryConfig.from_dict`` so one JSON document still describes
+        the whole deployment.
     """
 
     host: str = "127.0.0.1"
@@ -92,8 +100,18 @@ class ServeConfig:
     workers: int = 0
     probe_interval_ms: float = 200.0
     faults: Optional[str] = None
+    history: Optional[HistoryConfig] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.history, Mapping):
+            object.__setattr__(
+                self, "history", HistoryConfig.from_dict(self.history)
+            )
+        if self.history is not None and not isinstance(self.history, HistoryConfig):
+            raise ConfigError(
+                f"history must be a HistoryConfig, a mapping, or None, "
+                f"got {self.history!r}"
+            )
         if not isinstance(self.host, str) or not self.host:
             raise ConfigError(f"host must be a non-empty string, got {self.host!r}")
         if not 0 <= int(self.port) <= 65535:

@@ -236,10 +236,56 @@ class CheckpointStore:
             if meta.with_suffix(".npz").exists()
         )
         for meta in complete[: -self._keep]:
+            if self._meta_seq(meta) == 0:
+                # Checkpoint zero carries the initial edge list — the only
+                # durable record of the pre-WAL graph.  Time-travel reads
+                # below the oldest retained checkpoint replay from it, so
+                # it is never pruned.
+                continue
             meta.with_suffix(".npz").unlink(missing_ok=True)
             meta.unlink(missing_ok=True)
 
-    def latest(self) -> Optional[Tuple[CsrSnapshot, Dict[str, int]]]:
+    @staticmethod
+    def _meta_seq(meta_path: Path) -> Optional[int]:
+        """WAL sequence a checkpoint's file name encodes (None if foreign)."""
+        stem = meta_path.stem  # checkpoint-<seq>
+        prefix, _, digits = stem.partition("-")
+        if prefix != "checkpoint" or not digits.isdigit():
+            return None
+        return int(digits)
+
+    def newest_seq(self) -> Optional[int]:
+        """WAL sequence of the newest *complete* checkpoint (no load).
+
+        Filename-only probe for operational reporting (``/healthz``'s
+        ``checkpoint_seq``): completeness means the sidecar/payload pair
+        exists; the payload is not checksum-verified here — :meth:`latest`
+        does that when a checkpoint is actually loaded.
+        """
+        seqs = [
+            seq
+            for meta in self._dir.glob("checkpoint-*.json")
+            if meta.with_suffix(".npz").exists()
+            and (seq := self._meta_seq(meta)) is not None
+        ]
+        return max(seqs) if seqs else None
+
+    def newest_meta(self) -> Optional[Dict[str, int]]:
+        """Sidecar of the newest complete checkpoint, payload untouched.
+
+        For positional probes (where does the WAL suffix past the newest
+        checkpoint begin?) that must not pay the payload-CRC cost of
+        :meth:`latest`.
+        """
+        seq = self.newest_seq()
+        if seq is None:
+            return None
+        with self._meta_path(seq).open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def latest(
+        self, max_seq: Optional[int] = None
+    ) -> Optional[Tuple[CsrSnapshot, Dict[str, int]]]:
         """Load the newest *verifiable* checkpoint, or ``None`` when fresh.
 
         Walks checkpoints newest-first; a payload whose CRC/size disagrees
@@ -248,9 +294,17 @@ class CheckpointStore:
         recovery then replays a longer WAL suffix instead of dying.
         Sidecars without ``payload_crc`` (pre-checksum format) load
         unchecked, so old checkpoint directories still recover.
+
+        ``max_seq`` restricts the walk to checkpoints covering the WAL up
+        to that sequence — the as-of read path's "nearest checkpoint at or
+        below the target" lookup.
         """
         metas = sorted(self._dir.glob("checkpoint-*.json"), reverse=True)
         for meta_path in metas:
+            if max_seq is not None:
+                seq = self._meta_seq(meta_path)
+                if seq is None or seq > max_seq:
+                    continue
             payload = meta_path.with_suffix(".npz")
             if not payload.exists():
                 continue

@@ -186,6 +186,8 @@ def run_smoke(
     faults: Optional[str] = None,
     expect: Optional[List[str]] = None,
     report: Optional[str] = None,
+    history_interval: Optional[int] = None,
+    history_copy: Optional[str] = None,
 ) -> int:
     """Run the kill-and-restart divergence check; return a process exit code.
 
@@ -199,6 +201,17 @@ def run_smoke(
     phase 2 restart boots clean); ``expect`` lists failure-handling paths
     (:data:`EXPECTATIONS`) that must have been observed for the run to
     pass; ``report`` writes a JSON artifact of everything observed.
+
+    ``history_interval`` enables the historical-analytics indexer in
+    **both** phases and extends the contract: the phase-1 ``kill -9``
+    lands mid-indexing and the restarted indexer must resume
+    idempotently — after catch-up the cold store holds exactly one epoch
+    per multiple of the interval (no duplicates, no gaps, checksums
+    intact), a standalone ``python -m repro.history`` re-index changes
+    nothing, and ``detect?asof=<phase-1 version>`` on the restarted
+    server reproduces the pre-kill detection bit for bit.
+    ``history_copy`` copies the final ``.sqlite`` out of the tempdir
+    (the CI artifact).
     """
 
     def say(message: str) -> None:
@@ -234,6 +247,13 @@ def run_smoke(
                 "workers": workers,
             },
         }
+        if history_interval is not None:
+            # Both phases index (resume across the kill is the point);
+            # a fast poll keeps the catch-up wait below short.
+            config["serve"]["history"] = {
+                "epoch_interval": history_interval,
+                "poll_ms": 50.0,
+            }
         # The fault plan is phase 1 only: the restart boots clean and has
         # to cope with whatever the faults left on disk.
         clean_path = Path(tmp) / "engine.json"
@@ -344,6 +364,67 @@ def run_smoke(
             assert status == 200
             status, final_communities = _request(port, "GET", "/v1/communities?limit=5")
             assert status == 200
+            asof_failures: List[str] = []
+            if history_interval is not None:
+                # Wait for the background indexer to catch up to the last
+                # due epoch boundary, then pin the time-travel contract.
+                deadline = time.time() + 60
+                hist: Dict[str, object] = {}
+                head = 0
+                while time.time() < deadline:
+                    status, health = _request(port, "GET", "/healthz")
+                    assert status == 200
+                    hist = health.get("history") or {}
+                    head = int(health.get("wal_seq", 0))
+                    if hist.get("last_error"):
+                        break
+                    target = (head // history_interval) * history_interval
+                    if int(hist.get("last_indexed_seq", -1)) >= target:
+                        break
+                    time.sleep(0.1)
+                observed["history"] = hist
+                if hist.get("last_error"):
+                    asof_failures.append(f"indexer errored: {hist['last_error']}")
+                target = (head // history_interval) * history_interval
+                if int(hist.get("last_indexed_seq", -1)) < target:
+                    asof_failures.append(
+                        f"indexer never caught up: last_indexed="
+                        f"{hist.get('last_indexed_seq')} < due boundary {target}"
+                    )
+                say(
+                    f"indexer caught up: {hist.get('epochs_indexed')} epochs this "
+                    f"process, last_indexed_seq={hist.get('last_indexed_seq')}, "
+                    f"head={head}"
+                )
+                # Time travel across the crash: the restarted server must
+                # reproduce the pre-kill detection bit for bit at its
+                # version (skipped if chaos truncated that prefix).
+                mid_version = int(mid_detect["version"])
+                if observed["wal_corruption"] is None and mid_version <= head:
+                    status, asof_detect = _request(
+                        port, "GET", f"/v1/detect?asof={mid_version}"
+                    )
+                    if status != 200:
+                        asof_failures.append(
+                            f"asof={mid_version} answered {status}: {asof_detect}"
+                        )
+                    else:
+                        for key in ("community", "density", "peel_index"):
+                            if asof_detect[key] != mid_detect[key]:
+                                asof_failures.append(
+                                    f"asof={mid_version} {key} diverged from the "
+                                    f"pre-kill detection: {asof_detect[key]!r} != "
+                                    f"{mid_detect[key]!r}"
+                                )
+                        say(
+                            f"time travel to pre-kill version {mid_version} is "
+                            f"bit-identical across the crash"
+                        )
+                status, body = _request(port, "GET", f"/v1/detect?asof={head + 999}")
+                if status != 400:
+                    asof_failures.append(
+                        f"asof beyond head answered {status}, want 400: {body}"
+                    )
         finally:
             if proc.poll() is None:
                 proc.terminate()
@@ -376,7 +457,7 @@ def run_smoke(
             for instance in offline.communities(max_instances=5)
         ]
 
-        failures: List[str] = []
+        failures: List[str] = list(asof_failures)
         if residual_corruption is not None:
             failures.append(f"final WAL does not scan clean: {residual_corruption}")
         if final_detect["version"] != ops[-1][0]:
@@ -398,6 +479,80 @@ def run_smoke(
             )
         if final_communities["communities"] != offline_instances:
             failures.append("communities page diverged from offline enumeration")
+
+        history_doc: Optional[Dict[str, object]] = None
+        if history_interval is not None:
+            # Cold-store audit with the servers gone: one epoch per due
+            # interval multiple (no duplicates, no gaps — SQLite's PK plus
+            # single-transaction appends across two processes and a
+            # kill -9), every checksum intact, and a standalone re-index
+            # is a no-op.
+            import shutil
+
+            from repro.history.store import HISTORY_FILENAME, HistoryStore
+
+            db_path = wal_dir / HISTORY_FILENAME
+            head_seq = ops[-1][0] if ops else 0
+            expected_seqs = list(
+                range(history_interval, head_seq + 1, history_interval)
+            )
+            with HistoryStore(db_path) as store:
+                seqs_before = store.epoch_seqs()
+                corrupt = [s for s in seqs_before if not store.verify_epoch(s)]
+            if seqs_before != expected_seqs:
+                failures.append(
+                    f"epoch ledger wrong: {seqs_before} != every multiple of "
+                    f"{history_interval} up to {head_seq} ({expected_seqs})"
+                )
+            if corrupt:
+                failures.append(f"epoch checksums failed verification: {corrupt}")
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parents[2])
+            env["PYTHONPATH"] = src + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            reindex = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.history",
+                    "--wal-dir", str(wal_dir),
+                    # The deployment's own config: epochs must be
+                    # enumerated under the same semantics/knobs or the
+                    # store's meta guard refuses (by design).
+                    "--config", str(clean_path),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            if reindex.returncode != 0:
+                failures.append(
+                    f"standalone re-index exited {reindex.returncode}: "
+                    f"{reindex.stderr.strip()}"
+                )
+            with HistoryStore(db_path) as store:
+                seqs_after = store.epoch_seqs()
+            if seqs_after != seqs_before:
+                failures.append(
+                    f"standalone re-index was not idempotent: "
+                    f"{len(seqs_before)} epochs -> {len(seqs_after)}"
+                )
+            else:
+                say(
+                    f"cold store intact: {len(seqs_before)} epochs, one per "
+                    f"multiple of {history_interval}, re-index idempotent"
+                )
+            history_doc = {
+                "db_path": str(db_path),
+                "epoch_interval": history_interval,
+                "epochs": len(seqs_before),
+                "head_seq": head_seq,
+                "reindex_idempotent": seqs_after == seqs_before,
+                "observed": observed.get("history"),
+            }
+            if history_copy is not None:
+                shutil.copy(db_path, history_copy)
+                say(f"cold store copied to {history_copy}")
 
         # A fault plan must actually exercise the path it was written for;
         # a mistuned plan that injects nothing observable is a CI bug.
@@ -427,6 +582,7 @@ def run_smoke(
                 "wal_ops": len(ops),
                 "community_size": len(offline_community),
                 "density": offline_report.density,
+                "history": history_doc,
                 "failures": failures,
                 "ok": not failures,
             }
@@ -477,6 +633,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write a JSON report of everything observed to this path",
     )
+    parser.add_argument(
+        "--history-interval",
+        type=int,
+        default=None,
+        help="enable the historical-analytics indexer (both phases) and audit "
+        "idempotent resume + time travel across the kill",
+    )
+    parser.add_argument(
+        "--history-copy",
+        default=None,
+        help="copy the final cold-store .sqlite to this path (CI artifact)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     return run_smoke(
@@ -487,6 +655,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=args.faults,
         expect=args.expect,
         report=args.report,
+        history_interval=args.history_interval,
+        history_copy=args.history_copy,
     )
 
 

@@ -123,26 +123,36 @@ class SnapshotService:
         limit: int = 10,
         min_density: float = 0.0,
         min_size: int = 2,
+        after_rank: Optional[int] = None,
     ) -> Dict[str, object]:
-        """Paginated dense-instance enumeration over the current snapshot."""
+        """Paginated dense-instance enumeration over the current snapshot.
+
+        Two pagination modes share one shape: classic ``offset`` (kept
+        for existing clients) and keyset (``after_rank`` — the rank of
+        the last instance the client saw, from a cursor token the HTTP
+        layer decodes).  One extra instance is enumerated beyond the page
+        so ``has_more`` is exact; ``next_rank`` is the keyset position a
+        follow-up cursor resumes after (the HTTP layer encodes it).
+        """
         view = await self.current()
         semantics = self._client.semantics.name
         loop = asyncio.get_running_loop()
+        start = offset if after_rank is None else after_rank + 1
 
         def _enumerate() -> List[CommunityInstance]:
             return enumerate_csr(
                 view.snapshot,
-                max_instances=offset + limit,
+                max_instances=start + limit + 1,
                 min_density=min_density,
                 min_size=min_size,
                 semantics_name=semantics,
             )
 
         instances = await loop.run_in_executor(None, _enumerate)
-        page = instances[offset : offset + limit]
-        return {
+        page = instances[start : start + limit]
+        has_more = len(instances) > start + limit
+        report: Dict[str, object] = {
             "version": view.version,
-            "offset": offset,
             "limit": limit,
             "count": len(page),
             "communities": [
@@ -154,7 +164,12 @@ class SnapshotService:
                 }
                 for instance in page
             ],
+            "has_more": has_more,
+            "next_rank": page[-1].rank if page else None,
         }
+        if after_rank is None:
+            report["offset"] = offset
+        return report
 
     async def vertex(self, label: object) -> Optional[Dict[str, object]]:
         """Per-vertex view (prior, degrees, incident weight) or ``None``."""

@@ -48,7 +48,14 @@ from repro.errors import StorageError
 from repro.graph.delta import EdgeUpdate
 from repro.storage.jsonl import JsonlWriter
 
-__all__ = ["WriteAheadLog", "encode_op", "decode_record", "read_ops", "scan_ops"]
+__all__ = [
+    "WriteAheadLog",
+    "encode_op",
+    "decode_record",
+    "iter_ops",
+    "read_ops",
+    "scan_ops",
+]
 
 #: File name of the log inside ``wal_dir``.
 WAL_FILENAME = "wal.jsonl"
@@ -103,6 +110,131 @@ def _canonical(record: Dict[str, object]) -> bytes:
     return json.dumps(record, separators=(",", ":"), default=str).encode("utf-8")
 
 
+class WalScan:
+    """Streaming iterator over ``(seq, op)`` pairs of one WAL file.
+
+    Reads the log one line at a time (never materializing it), yielding
+    each valid record as it is decoded.  :attr:`next_offset` always holds
+    the byte offset just past the last *valid* record consumed so far —
+    the durable boundary a resuming reader (the asof replay, the history
+    indexer's tail loop) continues from — and :attr:`corruption` is
+    populated the moment the scan stops on an invalid record.  The file
+    handle is closed as soon as the scan ends (exhaustion, corruption, or
+    an explicit :meth:`close`).
+
+    The stop rules are exactly :func:`scan_ops`'s — this class *is* the
+    scan; ``scan_ops`` just drains it into a list.
+    """
+
+    def __init__(self, path: PathLike, offset: int = 0) -> None:
+        self.path = Path(path)
+        self.next_offset = offset
+        self.corruption: Optional[str] = None
+        self._last_seq = -1
+        self._handle = None
+        if not self.path.exists():
+            if offset:
+                raise StorageError(f"records file not found: {self.path}")
+            return
+        self._handle = self.path.open("rb")
+        self._handle.seek(offset)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WalScan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __iter__(self) -> "WalScan":
+        return self
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+    def _stop(self, reason: Optional[str]) -> None:
+        if reason is not None:
+            self.corruption = reason
+        self.close()
+
+    def __next__(self) -> Tuple[int, Event]:
+        while True:
+            if self._handle is None:
+                raise StopIteration
+            raw = self._handle.readline()
+            if not raw or not raw.endswith(b"\n"):
+                # EOF, or an unterminated fragment (a crash — or a live
+                # writer — mid-append): never part of the durable prefix.
+                self._stop(None)
+                raise StopIteration
+            stripped = raw.strip()
+            if not stripped:
+                # Blank (but terminated) filler line: consumed, no record.
+                self.next_offset += len(raw)
+                continue
+            position = self.next_offset
+            try:
+                record = json.loads(stripped)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # UnicodeDecodeError: a flipped bit can break UTF-8 before
+                # the payload even parses as JSON — same corruption,
+                # earlier layer.  A terminated-but-invalid *final* line is
+                # ordinary kill -9 residue (the payload write and a later
+                # append's newline can interleave), so peek: at EOF the
+                # scan is clean, mid-file it is corruption.
+                if self._handle.read(1) == b"":
+                    self._stop(None)
+                else:
+                    self._stop(f"invalid JSON record at byte {position}")
+                raise StopIteration
+            if not isinstance(record, dict):
+                self._stop(f"non-object record at byte {position}")
+                raise StopIteration
+            crc = record.pop("crc", None)
+            if crc is not None and zlib.crc32(_canonical(record)) != crc:
+                self._stop(
+                    f"CRC mismatch at byte {position} (seq {record.get('seq')})"
+                )
+                raise StopIteration
+            try:
+                seq = int(record["seq"])
+            except (KeyError, TypeError, ValueError):
+                self._stop(f"record without sequence number at byte {position}")
+                raise StopIteration
+            if seq <= self._last_seq:
+                self._stop(
+                    f"WAL sequence regressed ({seq} after {self._last_seq}) "
+                    f"at byte {position}"
+                )
+                raise StopIteration
+            try:
+                op = decode_record(record)
+            except (StorageError, KeyError, TypeError, ValueError) as exc:
+                self._stop(
+                    f"undecodable record at byte {position} (seq {seq}): {exc}"
+                )
+                raise StopIteration
+            self._last_seq = seq
+            self.next_offset = position + len(raw)
+            return seq, op
+
+
+def iter_ops(path: PathLike, offset: int = 0) -> WalScan:
+    """Stream ``(seq, op)`` pairs from byte ``offset`` without materializing.
+
+    Returns a :class:`WalScan` — iterate it like any generator; its
+    ``next_offset`` / ``corruption`` attributes carry the scan state the
+    tuple-returning :func:`scan_ops` reports.  This is the memory-bounded
+    path the history indexer and the as-of replay use to walk week-long
+    logs record by record.
+    """
+    return WalScan(path, offset)
+
+
 def scan_ops(
     path: PathLike, offset: int = 0
 ) -> Tuple[List[Tuple[int, Event]], int, Optional[str]]:
@@ -122,69 +254,13 @@ def scan_ops(
     Records carrying ``"crc"`` (format v2) are verified byte-exactly
     against their canonical serialisation; records without it are legacy
     v1 and decode unchecked.
+
+    This materializes the whole suffix as a list; callers that should
+    stay memory-bounded (tailing a long log) use :func:`iter_ops`.
     """
-    path = Path(path)
-    if not path.exists():
-        if offset:
-            raise StorageError(f"records file not found: {path}")
-        return [], 0, None
-    with path.open("rb") as handle:
-        handle.seek(offset)
-        data = handle.read()
-    ops: List[Tuple[int, Event]] = []
-    consumed = 0
-    last_seq = -1
-    corruption: Optional[str] = None
-    lines = data.split(b"\n")
-    # The final element is either b"" (data ended on a newline) or an
-    # unterminated fragment; both are excluded from the scan.
-    for index, raw in enumerate(lines[:-1]):
-        stripped = raw.strip()
-        if not stripped:
-            consumed += len(raw) + 1
-            continue
-        position = offset + consumed
-        try:
-            record = json.loads(stripped)
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            # UnicodeDecodeError: a flipped bit can break UTF-8 before the
-            # payload even parses as JSON — same corruption, earlier layer.
-            if index == len(lines) - 2 and not lines[-1]:
-                # Torn terminated final line: a crash between the payload
-                # write and the flush can persist a truncated line that
-                # still won its newline from a later append.
-                break
-            corruption = f"invalid JSON record at byte {position}"
-            break
-        if not isinstance(record, dict):
-            corruption = f"non-object record at byte {position}"
-            break
-        crc = record.pop("crc", None)
-        if crc is not None and zlib.crc32(_canonical(record)) != crc:
-            corruption = (
-                f"CRC mismatch at byte {position} (seq {record.get('seq')})"
-            )
-            break
-        try:
-            seq = int(record["seq"])
-        except (KeyError, TypeError, ValueError):
-            corruption = f"record without sequence number at byte {position}"
-            break
-        if seq <= last_seq:
-            corruption = (
-                f"WAL sequence regressed ({seq} after {last_seq}) "
-                f"at byte {position}"
-            )
-            break
-        try:
-            op = decode_record(record)
-        except (StorageError, KeyError, TypeError, ValueError) as exc:
-            corruption = f"undecodable record at byte {position} (seq {seq}): {exc}"
-            break
-        last_seq = seq
-        ops.append((seq, op))
-        consumed += len(raw) + 1
-    return ops, offset + consumed, corruption
+    scan = iter_ops(path, offset)
+    ops = list(scan)
+    return ops, scan.next_offset, scan.corruption
 
 
 def read_ops(path: PathLike, offset: int = 0) -> Tuple[List[Tuple[int, Event]], int]:
