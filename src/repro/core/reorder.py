@@ -57,12 +57,14 @@ id), so the reordered sequence is not merely *a* valid peeling sequence of
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import native as _native
+from repro.obs import profile as _obs_profile
 from repro.graph.backend import SMALL_DEGREE
 from repro.graph.graph import Vertex
 from repro.core.state import PeelingState
@@ -147,6 +149,7 @@ def reorder_after_insertions(
         return stats
 
     seed_positions = sorted(state.position_id(vid) for vid in seed_ids)
+    _began = time.perf_counter()
 
     # --- native dispatch --------------------------------------------- #
     # The compiled kernel runs the identical scan (same cases, same float
@@ -159,7 +162,9 @@ def reorder_after_insertions(
     if _native.resolve_kernel(getattr(state, "kernel", None)) == "native":
         nk = _native.get_kernels()
         if nk is not None and nk.reorder_ok and hasattr(graph, "native_adjacency"):
-            return _reorder_native(state, nk, seed_ids, seed_positions, stats)
+            result = _reorder_native(state, nk, seed_ids, seed_positions, stats)
+            _obs_profile.record("reorder", "native", time.perf_counter() - _began)
+            return result
 
     # Black (seed) and gray (collateral) vertices trigger the same action —
     # recover-and-queue — so one ``touched`` array serves both colours.
@@ -438,6 +443,7 @@ def reorder_after_insertions(
             if len(ids):
                 touched[ids] = False
 
+    _obs_profile.record("reorder", "python", time.perf_counter() - _began)
     state.invalidate()
     return stats
 

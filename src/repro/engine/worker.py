@@ -31,17 +31,29 @@ Wire protocol (pickled tuples over the pipe, strictly request/response)::
     ("ping",   None)
     ("stop",   None)
 
+Any request may carry an optional third element, a metadata dict —
+today ``{"trace": trace_id}`` when the coordinator's request is being
+traced (:mod:`repro.obs`).  Workers that receive a 2-tuple behave
+exactly as before, so mixed coordinator/worker versions interoperate
+across the extension.
+
 Every state-touching request answers ``("ok", state)`` where ``state``
 carries the shard's current community (the coordinator's shard-local
 view), the maintenance-pass counters and the benign-buffer depth —
 so the coordinator never needs a second round trip to read back what a
-dispatch did.  Failures answer ``("error", message)``; the coordinator's
-policy for those (and for a dead pipe) is respawn-from-mirror, because
-worker state is derived state.
+dispatch did.  State payloads also carry ``"elapsed"`` (the worker-side
+apply wall time — worker clocks are not comparable to the
+coordinator's, so the *duration* is the portable quantity), a
+cumulative ``"profile"`` table (:mod:`repro.obs.profile` snapshot), and
+echo the request's ``"trace"`` id when one was attached.  Failures
+answer ``("error", message)``; the coordinator's policy for those (and
+for a dead pipe) is respawn-from-mirror, because worker state is
+derived state.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.reorder import ReorderStats
@@ -88,12 +100,23 @@ def decode_update(row: Row) -> EdgeUpdate:
 class WorkerState:
     """The coordinator-side decode of one worker response payload."""
 
-    __slots__ = ("community", "stats", "pending")
+    __slots__ = ("community", "stats", "pending", "elapsed", "profile", "trace")
 
-    def __init__(self, community: Community, stats: ReorderStats, pending: int) -> None:
+    def __init__(
+        self,
+        community: Community,
+        stats: ReorderStats,
+        pending: int,
+        elapsed: float = 0.0,
+        profile: Optional[Dict[str, Dict[str, float]]] = None,
+        trace: Optional[str] = None,
+    ) -> None:
         self.community = community
         self.stats = stats
         self.pending = pending
+        self.elapsed = elapsed
+        self.profile = profile or {}
+        self.trace = trace
 
 
 def _encode_stats(stats: ReorderStats) -> Tuple[int, int, int, int, int, int]:
@@ -123,18 +146,37 @@ def decode_state(payload: Dict[str, object]) -> WorkerState:
         payload["density"],  # type: ignore[arg-type]
         payload["peel_index"],  # type: ignore[arg-type]
     )
-    return WorkerState(community, stats, int(payload["pending"]))  # type: ignore[arg-type]
+    return WorkerState(
+        community,
+        stats,
+        int(payload["pending"]),  # type: ignore[arg-type]
+        elapsed=float(payload.get("elapsed", 0.0)),  # type: ignore[arg-type]
+        profile=payload.get("profile"),  # type: ignore[arg-type]
+        trace=payload.get("trace"),  # type: ignore[arg-type]
+    )
 
 
-def _state_payload(spade: Spade, stats: ReorderStats) -> Dict[str, object]:
+def _state_payload(
+    spade: Spade,
+    stats: ReorderStats,
+    elapsed: float = 0.0,
+    trace: Optional[str] = None,
+) -> Dict[str, object]:
+    from repro.obs import profile as _profile
+
     community = spade.detect()  # cached between mutations: no re-peel
-    return {
+    payload: Dict[str, object] = {
         "community": list(community.vertices),
         "density": community.density,
         "peel_index": community.peel_index,
         "stats": _encode_stats(stats),
         "pending": spade.pending_edges(),
+        "elapsed": elapsed,
+        "profile": _profile.snapshot(),
     }
+    if trace is not None:
+        payload["trace"] = trace
+    return payload
 
 
 def _load_engine(payload: Dict[str, object]) -> Spade:
@@ -202,7 +244,9 @@ def shard_worker_main(conn, index: int) -> None:
             message = conn.recv()
         except (EOFError, OSError):
             break
-        kind, payload = message
+        kind, payload, *rest = message
+        meta: Optional[Dict[str, object]] = rest[0] if rest else None
+        trace_id = meta.get("trace") if isinstance(meta, dict) else None  # type: ignore[union-attr]
         if kind == "stop":
             try:
                 conn.send(("ok", None))
@@ -213,13 +257,25 @@ def shard_worker_main(conn, index: int) -> None:
             if kind == "ping":
                 response: object = {"index": index, "loaded": spade is not None}
             elif kind == "load":
+                began = time.perf_counter()
                 spade = _load_engine(payload)  # type: ignore[arg-type]
-                response = _state_payload(spade, ReorderStats())
+                response = _state_payload(
+                    spade,
+                    ReorderStats(),
+                    elapsed=time.perf_counter() - began,
+                    trace=trace_id,  # type: ignore[arg-type]
+                )
             else:
                 if spade is None:
                     raise RuntimeError("worker received updates before a load")
+                began = time.perf_counter()
                 stats = _apply(spade, kind, payload)
-                response = _state_payload(spade, stats)
+                response = _state_payload(
+                    spade,
+                    stats,
+                    elapsed=time.perf_counter() - began,
+                    trace=trace_id,  # type: ignore[arg-type]
+                )
             conn.send(("ok", response))
         except (BrokenPipeError, OSError):
             break

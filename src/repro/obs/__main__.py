@@ -1,0 +1,124 @@
+"""``python -m repro.obs tail``: pretty-print or follow the event log.
+
+Usage::
+
+    python -m repro.obs tail --log wal/events.jsonl
+    python -m repro.obs tail --log wal/events.jsonl --follow --min-ms 50
+    python -m repro.obs tail --log wal/events.jsonl --json    # raw lines
+
+One line per trace: wall time, trace id, request, status, total latency,
+then a per-stage breakdown aggregated from the spans (count × summed
+duration per span name) so a slow request's bottleneck reads off the
+terminal without any tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.events import follow_events, read_events
+
+__all__ = ["main", "format_record"]
+
+
+def format_record(record: Dict[str, object]) -> str:
+    """Render one event-log record as a single human line."""
+    ts = float(record.get("ts", 0.0))
+    clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    millis = int((ts % 1.0) * 1000)
+    trace_id = record.get("trace_id", "?")
+    method = record.get("method", "?")
+    path = record.get("path", "?")
+    status = record.get("status", "?")
+    duration = float(record.get("duration_ms", 0.0))
+    reason = record.get("reason", "sampled")
+    head = (
+        f"{clock}.{millis:03d}  {trace_id}  {method} {path}  "
+        f"{status}  {duration:8.2f}ms"
+    )
+    if reason != "sampled":
+        head += f"  [{reason}]"
+    stages: "OrderedDict[str, List[float]]" = OrderedDict()
+    for span in record.get("spans", []):  # type: ignore[union-attr]
+        if not isinstance(span, dict):
+            continue
+        name = str(span.get("name", "?"))
+        cell = stages.setdefault(name, [0, 0.0])
+        cell[0] += 1
+        cell[1] += float(span.get("duration_ms", 0.0))
+    if stages:
+        parts = []
+        for name, (count, total) in stages.items():
+            label = name if count == 1 else f"{name}×{int(count)}"
+            parts.append(f"{label}={total:.2f}ms")
+        head += "  " + " ".join(parts)
+    annotations = record.get("annotations")
+    if isinstance(annotations, dict) and "wal_seq" in annotations:
+        head += f"  seq={annotations['wal_seq']}"
+    return head
+
+
+def _emit(record: Dict[str, object], min_ms: float, raw: bool) -> None:
+    if float(record.get("duration_ms", 0.0)) < min_ms:
+        return
+    if raw:
+        print(json.dumps(record, separators=(",", ":")))
+    else:
+        print(format_record(record))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect the serving stack's trace event log.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    tail_parser = sub.add_parser("tail", help="print (or follow) the event log")
+    tail_parser.add_argument(
+        "--log", type=Path, required=True, help="events.jsonl path"
+    )
+    tail_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new records (like tail -f)",
+    )
+    tail_parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="only show traces at least this slow",
+    )
+    tail_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit raw JSON lines instead of the pretty format",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.log.exists() and not args.follow:
+        print(f"event log not found: {args.log}", file=sys.stderr)
+        return 1
+    try:
+        if args.follow:
+            for record in follow_events(args.log):
+                _emit(record, args.min_ms, args.json)
+        else:
+            records, _ = read_events(args.log)
+            for record in records:
+                _emit(record, args.min_ms, args.json)
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        pass
+    except FileNotFoundError:
+        print(f"event log not found: {args.log}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

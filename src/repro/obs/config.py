@@ -1,0 +1,112 @@
+"""``ObsConfig``: the observability knobs, nested inside ``ServeConfig``.
+
+Mirrors the :class:`~repro.serve.config.ServeConfig` contract — a frozen
+dataclass that validates on construction and round-trips through plain
+dicts — so one JSON document still describes the whole deployment
+(engine, server, history, *and* tracing).
+
+This module deliberately imports only :mod:`repro.errors`, keeping it
+safe to nest under the config layer without dragging the serving stack
+into every ``import repro.api``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Validated knobs for tracing, event logging, and the trace buffer.
+
+    Attributes
+    ----------
+    trace_sample:
+        Fraction of requests traced end-to-end, in ``[0, 1]``.  Sampling
+        is deterministic in the trace id (``crc32(trace_id)``), so a
+        given id always makes the same decision — reproducible in tests
+        and stable across retries of the same id.  ``0`` disables span
+        collection entirely (requests still get an ``X-Repro-Trace-Id``);
+        ``1`` traces everything.
+    slow_ms:
+        Always-record threshold in milliseconds.  A request slower than
+        this is recorded to the ring buffer and event log even when the
+        sampler skipped it (without spans — the decision is retroactive),
+        so tail latency is never invisible.  ``0`` disables the
+        threshold.
+    trace_log:
+        Structured JSONL event-log destination: a file path, ``"auto"``
+        (``<wal_dir>/events.jsonl``; disabled when the deployment has no
+        ``wal_dir``), or ``None`` (default: no event log — recorded
+        traces still land in the in-memory ring served at
+        ``/debug/traces``).
+    trace_buffer:
+        Capacity of the in-memory :class:`~repro.obs.recorder.TraceRecorder`
+        ring (recorded traces, not requests).
+    """
+
+    trace_sample: float = 0.1
+    slow_ms: float = 250.0
+    trace_log: Optional[str] = None
+    trace_buffer: int = 512
+
+    def __post_init__(self) -> None:
+        try:
+            rate = float(self.trace_sample)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"trace_sample must be a number in [0, 1], got {self.trace_sample!r}"
+            ) from None
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample!r}"
+            )
+        try:
+            slow = float(self.slow_ms)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"slow_ms must be a number >= 0, got {self.slow_ms!r}"
+            ) from None
+        if slow < 0:
+            raise ConfigError(f"slow_ms must be >= 0, got {self.slow_ms!r}")
+        if self.trace_log is not None and not isinstance(self.trace_log, str):
+            raise ConfigError(
+                f"trace_log must be a path, 'auto', or None, got {self.trace_log!r}"
+            )
+        if not isinstance(self.trace_buffer, int) or isinstance(self.trace_buffer, bool):
+            raise ConfigError(
+                f"trace_buffer must be an integer, got {self.trace_buffer!r}"
+            )
+        if not 16 <= self.trace_buffer <= 1_000_000:
+            raise ConfigError(
+                f"trace_buffer must be in [16, 1000000], got {self.trace_buffer}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Round-tripping (mirrors ServeConfig's contract)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Export as a plain JSON-serialisable dict (all knobs, always)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ObsConfig":
+        """Build (and validate) a config from a dict; unknown keys fail."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ObsConfig keys: {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes: object) -> "ObsConfig":
+        """Return a copy with the given knobs changed (re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

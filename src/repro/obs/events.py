@@ -1,0 +1,98 @@
+"""The structured JSONL event log: one line per recorded trace.
+
+Reuses :mod:`repro.storage.jsonl` (the WAL's writer) so the log shares
+its properties: append-only, crash-tolerant tailing (a torn final line
+is ignored, not fatal), and offset-based resumption for followers.
+
+Schema (one JSON object per line — exactly
+:meth:`~repro.obs.context.TraceContext.to_dict`)::
+
+    {"ts": 1722e6, "trace_id": "3f9a...", "method": "POST",
+     "path": "/v1/edges", "status": 200, "duration_ms": 12.4,
+     "reason": "sampled" | "slow",
+     "spans": [{"id": 1, "name": "queue_wait", "parent": null,
+                "start_ms": 0.1, "duration_ms": 0.8, "attrs": {...}}, ...],
+     "annotations": {"wal_seq": 12, ...}}
+
+``reason`` records *why* the line exists: ``"sampled"`` traces carry
+spans; ``"slow"`` traces were recorded retroactively by the ``slow_ms``
+threshold after the sampler skipped them, so they have the envelope
+(status, duration) but an empty span list.
+
+The log is written on the server's event-loop thread at request
+completion with ``fsync=False`` — observability must never add an fsync
+to the request path.  Write failures (disk full) disable nothing: the
+caller counts them and keeps serving.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.storage.jsonl import JsonlWriter, tail
+
+__all__ = ["EventLog", "read_events", "follow_events"]
+
+PathLike = Union[str, Path]
+
+
+class EventLog:
+    """Appender for the trace event log (thin JsonlWriter wrapper)."""
+
+    def __init__(self, path: PathLike, fsync: bool = False) -> None:
+        self._writer = JsonlWriter(Path(path), fsync=fsync)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    def write(self, record: Dict[str, object]) -> int:
+        """Append one trace record; returns the offset after the line."""
+        return self._writer.append(record)
+
+    def sync(self) -> None:
+        self._writer.sync()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(
+    path: PathLike, offset: int = 0
+) -> Tuple[List[Dict[str, object]], int]:
+    """Read trace records from ``offset``; returns ``(records, next_offset)``.
+
+    Tolerates a torn final line (a live writer mid-append): the fragment
+    is not consumed, and the returned offset lets the caller resume once
+    the line completes.
+    """
+    records, next_offset = tail(Path(path), offset)
+    return [r for r in records if isinstance(r, dict)], next_offset
+
+
+def follow_events(
+    path: PathLike, offset: int = 0, poll_interval: float = 0.5
+) -> Iterator[Dict[str, object]]:
+    """Yield trace records forever, polling for growth (``tail -f``).
+
+    Used by ``python -m repro.obs tail --follow``; terminate with
+    ``KeyboardInterrupt``.
+    """
+    import time as _time
+
+    position = offset
+    while True:
+        records, position = read_events(path, position)
+        yielded = False
+        for record in records:
+            yielded = True
+            yield record
+        if not yielded:
+            _time.sleep(poll_interval)

@@ -1,0 +1,81 @@
+"""A fixed-capacity ring buffer of recorded traces, behind ``/debug/traces``.
+
+The recorder is lock-free by construction rather than by atomics: the
+only writer is the server's event-loop thread (traces are recorded at
+request completion, inside the handler), and the only reader is the same
+thread (the ``/debug/traces`` handler).  Slot assignment is a single
+list-item store, so even a concurrent reader — a test poking at the ring
+from another thread — sees either the old record or the new one, never a
+torn value (CPython list stores are atomic under the GIL).
+
+Records are the plain dicts :meth:`TraceContext.to_dict` exports; the
+ring never holds live ``TraceContext`` objects, so recording detaches a
+trace from the request lifecycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Keep the most recent ``capacity`` trace records, queryable by latency."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._slots: List[Optional[Dict[str, object]]] = [None] * capacity
+        self._next = 0
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    @property
+    def total_recorded(self) -> int:
+        """Traces ever recorded (recorded - capacity have been overwritten)."""
+        return self._total
+
+    def record(self, record: Dict[str, object]) -> None:
+        """Store one exported trace, overwriting the oldest slot."""
+        self._slots[self._next] = record
+        self._next = (self._next + 1) % len(self._slots)
+        self._total += 1
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """All held records, most recently recorded first."""
+        n = len(self._slots)
+        start = self._next
+        out: List[Dict[str, object]] = []
+        for step in range(1, n + 1):
+            record = self._slots[(start - step) % n]
+            if record is not None:
+                out.append(record)
+        return out
+
+    def slowest(
+        self, min_ms: float = 0.0, limit: int = 50
+    ) -> List[Dict[str, object]]:
+        """The slowest recent traces at or above ``min_ms``, slowest first.
+
+        Ties break toward the more recently recorded trace, so the view
+        is stable and fresh under a flood of equal-latency requests.
+        """
+        limit = max(1, int(limit))
+        kept = [
+            record
+            for record in self.snapshot()
+            if float(record.get("duration_ms", 0.0)) >= min_ms
+        ]
+        kept.sort(key=lambda record: -float(record.get("duration_ms", 0.0)))
+        return kept[:limit]
+
+    def find(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """The held record for ``trace_id``, or ``None`` if evicted/absent."""
+        for record in self.snapshot():
+            if record.get("trace_id") == trace_id:
+                return record
+        return None

@@ -38,11 +38,13 @@ sequences (bit-identical for dyadic weights).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import AbstractSet, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import native as _native
+from repro.obs import profile as _obs_profile
 from repro.graph.backend import SMALL_DEGREE
 from repro.graph.csr import CsrSnapshot, freeze_graph
 from repro.graph.graph import DynamicGraph, Vertex
@@ -143,6 +145,7 @@ def _peel_ids(
     With ``as_ids`` the order comes back as an ``int32`` id array instead
     of labels.
     """
+    _began = time.perf_counter()
     if member_ids is None:
         member_ids = graph.vertex_ids()
     interner = graph.interner
@@ -202,6 +205,7 @@ def _peel_ids(
                     current[nbr] -= edge_weight
                     heapq.heappush(heap, (current[nbr], nbr))
 
+    _obs_profile.record("peel_heap", "python", time.perf_counter() - _began)
     if as_ids:
         return np.asarray(order_ids, dtype=np.int32), out_weights, total
     return interner.labels_for(order_ids), out_weights, total
@@ -301,6 +305,7 @@ def _peel_csr_ids(
        compaction that keeps the queue at O(live vertices) instead of
        O(|E|) stale entries.
     """
+    _init_began = time.perf_counter()
     inc_off, inc_mid, inc_nbr, inc_w = snapshot.incidence()
     num_ids = snapshot.num_ids
     if member_ids is None:
@@ -357,6 +362,7 @@ def _peel_csr_ids(
         total = 0.0
     edge_total = (float(current[member_ids].sum()) - total) / 2.0
     total += edge_total
+    _obs_profile.record("peel_csr_init", "python", time.perf_counter() - _init_began)
 
     # --- native dispatch --------------------------------------------- #
     # The compiled kernel runs the identical lazy-deletion greedy loop
@@ -366,6 +372,7 @@ def _peel_csr_ids(
     if _native.resolve_kernel(kernel) == "native":
         nk = _native.get_kernels()
         if nk is not None and nk.peel_ok:
+            _loop_began = time.perf_counter()
             order_ids_arr, out_weights = nk.peel(
                 inc_off,
                 inc_nbr,
@@ -374,6 +381,7 @@ def _peel_csr_ids(
                 np.ascontiguousarray(member_ids, dtype=np.int32),
                 np.ascontiguousarray(current[member_ids]),
             )
+            _obs_profile.record("peel_greedy", "native", time.perf_counter() - _loop_began)
             return order_ids_arr, out_weights, total
 
     # --- greedy loop over the flattened CSR -------------------------- #
@@ -383,6 +391,7 @@ def _peel_csr_ids(
     # incident_arrays_id scratch copies, no dict probes.  Arithmetic is
     # the same IEEE f64 sequence as the heap path, so the output is
     # bit-identical.
+    _loop_began = time.perf_counter()
     member_list = member_ids.tolist()
     # None marks "not part of this run" (non-members and, later, peeled
     # vertices); only members start with a float value.
@@ -428,4 +437,5 @@ def _peel_csr_ids(
             heap = [entry for entry in heap if cur[entry[1]] == entry[0]]
             heapq.heapify(heap)
 
+    _obs_profile.record("peel_greedy", "python", time.perf_counter() - _loop_began)
     return np.asarray(order_ids, dtype=np.int32), out_weights, total

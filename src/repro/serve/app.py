@@ -26,10 +26,17 @@ store, ingest gateway and snapshot service around one shared
 ``GET /healthz``            liveness + engine shape + WAL/checkpoint/indexer
                             positions
 ``GET /metrics``            Prometheus text exposition
+``GET /debug/traces``       slowest-recent recorded traces (``min_ms``,
+                            ``limit``, ``trace_id`` filters) from the
+                            in-memory ring
+``GET /debug/profile``      per-peel-phase wall-time counters, process +
+                            per-shard-worker, python vs. native kernel
 ==========================  =====================================================
 
 Every data response carries the snapshot ``version`` (the WAL sequence it
-reflects), which is the isolation contract clients can assert against.
+reflects), which is the isolation contract clients can assert against —
+and an ``X-Repro-Trace-Id`` header naming the request's trace
+(:mod:`repro.obs`), whether or not the sampler recorded it.
 """
 
 from __future__ import annotations
@@ -52,6 +59,10 @@ from repro.history.cursor import cursor_int, decode_cursor, encode_cursor
 from repro.history.indexer import HistoryIndexer, IndexerTask, resolve_db_path
 from repro.history.store import HistoryStore
 from repro.history.store import connect as history_connect
+from repro.obs import profile as obs_profile
+from repro.obs.context import TraceContext
+from repro.obs.events import EventLog
+from repro.obs.recorder import TraceRecorder
 from repro.peeling.semantics import PeelingSemantics
 from repro.serve.config import ServeConfig
 from repro.serve.ingest import IngestGateway
@@ -202,6 +213,45 @@ class ServeApp:
             "repro_kernel_active",
             "1 when the compiled native kernels serve the hot loops, else 0",
         )
+        self._m_build = self.metrics.gauge(
+            "repro_build_info",
+            "Deployment configuration (value is always 1; the labels carry it)",
+            labelnames=("version", "kernel", "backend", "shards", "workers"),
+        )
+        self._m_traces = self.metrics.counter(
+            "repro_traces_recorded_total",
+            "Traces recorded to the ring buffer (sampled + slow)",
+        )
+        self._m_trace_log_errors = self.metrics.counter(
+            "repro_trace_log_errors_total",
+            "Event-log appends that failed (tracing keeps serving)",
+        )
+        self._m_profile_seconds = self.metrics.gauge(
+            "repro_profile_seconds",
+            "Cumulative wall seconds per peel/reorder phase (process + workers)",
+            labelnames=("phase", "kernel"),
+        )
+        self._m_profile_calls = self.metrics.gauge(
+            "repro_profile_calls",
+            "Cumulative passes per peel/reorder phase (process + workers)",
+            labelnames=("phase", "kernel"),
+        )
+
+        # --- observability (tracing + event log) ----------------------- #
+        self.obs_config = self.serve_config.obs
+        self.recorder = TraceRecorder(self.obs_config.trace_buffer)
+        self._event_log: Optional[EventLog] = None
+        self.trace_log_path: Optional[Path] = None
+        trace_log = self.obs_config.trace_log
+        if trace_log == "auto":
+            trace_log = (
+                str(Path(self.serve_config.wal_dir) / "events.jsonl")
+                if self.serve_config.wal_dir is not None
+                else None
+            )
+        if trace_log is not None:
+            self.trace_log_path = Path(trace_log)
+            self._event_log = EventLog(self.trace_log_path)
 
         # --- fault injection (chaos testing only) --------------------- #
         self._injector = None
@@ -247,6 +297,13 @@ class ServeApp:
             engine.load_graph(self.client.graph)
             self.client = SpadeClient.wrap(engine)
             self._worker_engine = engine
+        self._m_build.labels(
+            version=__version__,
+            kernel=self.active_kernel,
+            backend=self.client.backend,
+            shards=self.client.shards,
+            workers=self.serve_config.workers,
+        ).set(1)
         self._lock = asyncio.Lock()
         self.service = SnapshotService(self.client, self._lock)
 
@@ -399,6 +456,8 @@ class ServeApp:
         if self._wal is not None:
             self._wal.sync()
             self._wal.close()
+        if self._event_log is not None:
+            self._event_log.close()
         if self._worker_engine is not None:
             self._worker_engine.close()
 
@@ -406,22 +465,72 @@ class ServeApp:
     # Routing
     # ------------------------------------------------------------------ #
     async def _handle(self, request: Request) -> Response:
+        """Trace-wrapping entry point: every request gets a trace id.
+
+        The id goes on the response (or error) header either way; the
+        span tree is only collected when the deterministic sampler says
+        so, and the finished trace is recorded when sampled *or* slower
+        than ``obs.slow_ms`` (retroactively, without spans).
+        """
         self._m_requests.inc()
+        trace = TraceContext.new(
+            request.method, request.path, self.obs_config.trace_sample
+        )
+        try:
+            response = await self._dispatch(request, trace)
+        except HttpError as exc:
+            self._finish_trace(trace, exc.status)
+            headers = dict(exc.headers or {})
+            headers["X-Repro-Trace-Id"] = trace.trace_id
+            exc.headers = headers
+            raise
+        except Exception:
+            self._finish_trace(trace, 500)
+            raise
+        self._finish_trace(trace, response.status)
+        response.headers["X-Repro-Trace-Id"] = trace.trace_id
+        return response
+
+    def _finish_trace(self, trace: TraceContext, status: int) -> None:
+        """Record a completed trace to the ring + event log when warranted."""
+        duration = trace.finish(status)
+        slow = (
+            self.obs_config.slow_ms > 0
+            and duration * 1000.0 >= self.obs_config.slow_ms
+        )
+        if not (trace.sampled or slow):
+            return
+        record = trace.to_dict("sampled" if trace.sampled else "slow")
+        self.recorder.record(record)
+        self._m_traces.inc()
+        if self._event_log is not None:
+            try:
+                self._event_log.write(record)
+            except OSError:
+                self._m_trace_log_errors.inc()
+
+    async def _dispatch(self, request: Request, trace: TraceContext) -> Response:
         path = request.path.rstrip("/") or "/"
         try:
             if path == "/healthz":
                 return await self._handle_health(request)
             if path == "/metrics":
                 return await self._handle_metrics(request)
+            if path == "/debug/traces":
+                self._require(request, "GET")
+                return await self._handle_traces(request)
+            if path == "/debug/profile":
+                self._require(request, "GET")
+                return await self._handle_profile(request)
             if path == "/v1/edges":
                 self._require(request, "POST")
-                return await self._handle_edges(request)
+                return await self._handle_edges(request, trace)
             if path == "/v1/flush":
                 self._require(request, "POST")
-                return await self._handle_flush(request)
+                return await self._handle_flush(request, trace)
             if path == "/v1/detect":
                 self._require(request, "GET")
-                return await self._handle_detect(request)
+                return await self._handle_detect(request, trace)
             if path == "/v1/communities":
                 self._require(request, "GET")
                 return await self._handle_communities(request)
@@ -453,7 +562,7 @@ class ServeApp:
     # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
-    async def _handle_edges(self, request: Request) -> Response:
+    async def _handle_edges(self, request: Request, trace: TraceContext) -> Response:
         payload = request.json()
         if isinstance(payload, Mapping) and "edges" in payload:
             rows = payload["edges"]
@@ -471,7 +580,7 @@ class ServeApp:
                     edges.append((_parse_label(row[0]), _parse_label(row[1])))
                 if not edges:
                     raise HttpError(400, "empty delete")
-                return await self._submit("delete", edges, len(edges))
+                return await self._submit("delete", edges, len(edges), trace)
             updates = [_parse_update(row) for row in rows]
         elif isinstance(payload, Sequence) and not isinstance(payload, (str, bytes)):
             updates = [_parse_update(row) for row in payload]
@@ -479,10 +588,10 @@ class ServeApp:
             updates = [_parse_update(payload)]
         if not updates:
             raise HttpError(400, "empty edge list")
-        return await self._submit("insert", updates, len(updates))
+        return await self._submit("insert", updates, len(updates), trace)
 
-    async def _handle_flush(self, request: Request) -> Response:
-        return await self._submit("flush", (), 0)
+    async def _handle_flush(self, request: Request, trace: TraceContext) -> Response:
+        return await self._submit("flush", (), 0, trace)
 
     def _degraded_http(self, exc: DegradedError) -> HttpError:
         """Map read-only degraded mode to ``503`` + ``Retry-After``."""
@@ -493,9 +602,15 @@ class ServeApp:
             headers={"Retry-After": str(retry_after)},
         )
 
-    async def _submit(self, kind: str, updates: Sequence, edges: int) -> Response:
+    async def _submit(
+        self,
+        kind: str,
+        updates: Sequence,
+        edges: int,
+        trace: Optional[TraceContext] = None,
+    ) -> Response:
         try:
-            future = self.gateway.submit(kind, updates, edges)
+            future = self.gateway.submit(kind, updates, edges, trace)
         except DegradedError as exc:
             raise self._degraded_http(exc) from exc
         if future is None:
@@ -544,17 +659,21 @@ class ServeApp:
             raise HttpError(400, "asof reads require a WAL directory (serve.wal_dir)")
         return seq
 
-    async def _handle_detect(self, request: Request) -> Response:
+    async def _handle_detect(self, request: Request, trace: TraceContext) -> Response:
         asof_seq = self._asof_seq(request)
         if asof_seq is not None:
             head = self.gateway.seq
+            began = time.perf_counter()
             report = await asyncio.get_running_loop().run_in_executor(
                 None, self.asof.detect_at, asof_seq, head
             )
+            trace.add_span("asof_detect", began, time.perf_counter(), seq=asof_seq)
             return json_response(200, report)
         began = time.perf_counter()
         report = await self.service.detect()
-        self._m_detect_latency.observe(time.perf_counter() - began)
+        ended = time.perf_counter()
+        self._m_detect_latency.observe(ended - began)
+        trace.add_span("detect", began, ended, version=report.get("version"))
         self._m_version.set(report["version"])  # type: ignore[arg-type]
         return json_response(200, report)
 
@@ -730,8 +849,70 @@ class ServeApp:
         self._m_version.set(self.service.version)
         if self._indexer_task is not None:
             self._m_history_lag.set(self._indexer_task.lag)
+        self._refresh_profile_metrics(self._merged_profile())
         return Response(
             200,
             self.metrics.render().encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Debug surface (tracing + profiling)
+    # ------------------------------------------------------------------ #
+    async def _handle_traces(self, request: Request) -> Response:
+        min_ms = _float_query(request, "min_ms", 0.0)
+        limit = _int_query(request, "limit", 50, 1, 10**6)
+        trace_id = request.query.get("trace_id")
+        if trace_id is not None:
+            found = self.recorder.find(trace_id)
+            traces = [found] if found is not None else []
+        else:
+            traces = self.recorder.slowest(min_ms=min_ms, limit=limit)
+        return json_response(
+            200,
+            {
+                "count": len(traces),
+                "capacity": self.recorder.capacity,
+                "recorded": self.recorder.total_recorded,
+                "sample_rate": self.obs_config.trace_sample,
+                "slow_ms": self.obs_config.slow_ms,
+                "traces": traces,
+            },
+        )
+
+    def _merged_profile(self) -> Dict[str, Dict[str, float]]:
+        """Process counters + the latest snapshot from every shard worker."""
+        tables = [obs_profile.snapshot()]
+        if self._worker_engine is not None:
+            tables.extend(self._worker_engine.worker_profiles().values())
+        return obs_profile.merge(tables)
+
+    def _refresh_profile_metrics(self, merged: Dict[str, Dict[str, float]]) -> None:
+        """Mirror the merged profile table into the labeled gauges."""
+        for key, cell in merged.items():
+            phase, kernel = obs_profile.split_key(key)
+            self._m_profile_seconds.labels(phase=phase, kernel=kernel).set(
+                cell["seconds"]
+            )
+            self._m_profile_calls.labels(phase=phase, kernel=kernel).set(
+                cell["calls"]
+            )
+
+    async def _handle_profile(self, request: Request) -> Response:
+        process = obs_profile.snapshot()
+        workers = (
+            self._worker_engine.worker_profiles()
+            if self._worker_engine is not None
+            else {}
+        )
+        merged = obs_profile.merge([process, *workers.values()])
+        self._refresh_profile_metrics(merged)
+        return json_response(
+            200,
+            {
+                "kernel": self.active_kernel,
+                "process": process,
+                "workers": workers,
+                "merged": merged,
+            },
         )

@@ -81,6 +81,26 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --history-db auto)",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help="fraction of requests traced end-to-end (0 disables spans, "
+        "1 traces everything; default 0.1)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="always record requests slower than this many ms, even when "
+        "the sampler skipped them (0 disables; default 250)",
+    )
+    parser.add_argument(
+        "--trace-log",
+        default=None,
+        help="JSONL trace event log destination ('auto' = <wal-dir>/events.jsonl; "
+        "inspect with python -m repro.obs tail)",
+    )
+    parser.add_argument(
         "--load",
         type=Path,
         default=None,
@@ -129,6 +149,19 @@ def _resolve_config(args: argparse.Namespace) -> EngineConfig:
         if args.epoch_interval is not None:
             history = history.replace(epoch_interval=args.epoch_interval)
         overrides["history"] = history
+    if (
+        args.trace_sample is not None
+        or args.slow_ms is not None
+        or args.trace_log is not None
+    ):
+        obs = serve.obs
+        if args.trace_sample is not None:
+            obs = obs.replace(trace_sample=args.trace_sample)
+        if args.slow_ms is not None:
+            obs = obs.replace(slow_ms=args.slow_ms)
+        if args.trace_log is not None:
+            obs = obs.replace(trace_log=args.trace_log)
+        overrides["obs"] = obs
     if overrides:
         serve = serve.replace(**overrides)
     config = config.replace(serve=serve)

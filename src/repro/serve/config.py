@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigError
 from repro.history.config import HistoryConfig
+from repro.obs.config import ObsConfig
 
 __all__ = ["ServeConfig"]
 
@@ -86,6 +87,12 @@ class ServeConfig:
         and work either way.  A plain mapping coerces via
         ``HistoryConfig.from_dict`` so one JSON document still describes
         the whole deployment.
+    obs:
+        Observability knobs (:class:`repro.obs.ObsConfig`): trace
+        sampling rate, the always-record slow threshold, the JSONL event
+        log destination, and the ``/debug/traces`` ring capacity.
+        Always present (tracing defaults on at a 10% sample); a plain
+        mapping coerces via ``ObsConfig.from_dict``.
     """
 
     host: str = "127.0.0.1"
@@ -101,6 +108,7 @@ class ServeConfig:
     probe_interval_ms: float = 200.0
     faults: Optional[str] = None
     history: Optional[HistoryConfig] = None
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
         if isinstance(self.history, Mapping):
@@ -111,6 +119,14 @@ class ServeConfig:
             raise ConfigError(
                 f"history must be a HistoryConfig, a mapping, or None, "
                 f"got {self.history!r}"
+            )
+        if isinstance(self.obs, Mapping):
+            object.__setattr__(self, "obs", ObsConfig.from_dict(self.obs))
+        if self.obs is None:
+            object.__setattr__(self, "obs", ObsConfig())
+        if not isinstance(self.obs, ObsConfig):
+            raise ConfigError(
+                f"obs must be an ObsConfig, a mapping, or None, got {self.obs!r}"
             )
         if not isinstance(self.host, str) or not self.host:
             raise ConfigError(f"host must be a non-empty string, got {self.host!r}")

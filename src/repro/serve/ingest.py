@@ -49,6 +49,7 @@ from repro.api.client import SpadeClient
 from repro.api.events import Delete, Event, Flush, InsertBatch
 from repro.errors import DegradedError, ReproError
 from repro.graph.delta import EdgeUpdate
+from repro.obs.context import TraceContext, activate, deactivate
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
 from repro.serve.snapshots import SnapshotService
@@ -58,9 +59,15 @@ __all__ = ["IngestGateway", "Submission"]
 
 
 class Submission:
-    """One queued write request awaiting commit."""
+    """One queued write request awaiting commit.
 
-    __slots__ = ("kind", "updates", "edges", "future", "enqueued_at")
+    ``trace`` rides along explicitly because the commit happens on an
+    executor thread — ``run_in_executor`` does not propagate
+    :mod:`contextvars`, so the request's :class:`TraceContext` must
+    travel with the data it describes.
+    """
+
+    __slots__ = ("kind", "updates", "edges", "future", "enqueued_at", "trace")
 
     def __init__(
         self,
@@ -68,12 +75,14 @@ class Submission:
         updates: Sequence,
         edges: int,
         future: "asyncio.Future[Dict[str, object]]",
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self.kind = kind  # "insert" | "delete" | "flush"
         self.updates = updates
         self.edges = edges
         self.future = future
         self.enqueued_at = time.perf_counter()
+        self.trace = trace
 
 
 class IngestGateway:
@@ -139,6 +148,15 @@ class IngestGateway:
             "repro_wal_errors_total",
             "WAL append failures and corrupt records dropped at recovery",
         )
+        # Shared with WorkerEngine (whichever constructs first registers).
+        try:
+            self._m_stage = metrics.get("repro_stage_seconds")
+        except KeyError:
+            self._m_stage = metrics.histogram(
+                "repro_stage_seconds",
+                "Per-request pipeline stage latency (tracing-independent)",
+                labelnames=("stage",),
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -187,7 +205,11 @@ class IngestGateway:
     # Producer side (HTTP handlers)
     # ------------------------------------------------------------------ #
     def submit(
-        self, kind: str, updates: Sequence, edges: int
+        self,
+        kind: str,
+        updates: Sequence,
+        edges: int,
+        trace: Optional[TraceContext] = None,
     ) -> Optional["asyncio.Future[Dict[str, object]]"]:
         """Enqueue one write request; ``None`` means full (answer 429).
 
@@ -199,7 +221,7 @@ class IngestGateway:
         future: "asyncio.Future[Dict[str, object]]" = (
             asyncio.get_running_loop().create_future()
         )
-        submission = Submission(kind, updates, edges, future)
+        submission = Submission(kind, updates, edges, future, trace)
         try:
             self._queue.put_nowait(submission)
         except asyncio.QueueFull:
@@ -306,6 +328,18 @@ class IngestGateway:
                 if not submission.future.done():
                     submission.future.set_exception(error)
             return
+        pickup = time.perf_counter()
+        for submission in window:
+            self._m_stage.labels(stage="queue_wait").observe(
+                pickup - submission.enqueued_at
+            )
+            if submission.trace is not None:
+                submission.trace.add_span(
+                    "queue_wait",
+                    submission.enqueued_at,
+                    pickup,
+                    window=len(window),
+                )
         ops = self._coalesce(window)
         began = time.perf_counter()
         try:
@@ -379,37 +413,80 @@ class IngestGateway:
     def _commit_sync(
         self, ops: List[Tuple[Event, List[Submission]]]
     ) -> List[Dict[str, object]]:
-        """WAL-append + apply each operation (runs in a worker thread)."""
+        """WAL-append + apply each operation (runs in a worker thread).
+
+        Tracing: one submission's trace becomes the *primary* for each
+        coalesced op — activated as the ambient trace for the duration
+        of the op so the WAL appender and the worker scatter/gather can
+        attach child spans without plumbing.  Every other sampled trace
+        in the op still gets the annotations (wal seq, which trace
+        carried the spans), so a coalesced-away request remains
+        attributable.
+        """
         results: List[Dict[str, object]] = []
-        for op, _submissions in ops:
+        for op, submissions in ops:
             seq = self._seq + 1
-            if self._wal is not None:
-                wal_began = time.perf_counter()
-                try:
-                    seq, offset = self._wal.append_op(op)
-                except OSError as exc:
-                    # Disk full / EIO: nothing durable was added (the WAL
-                    # discards partial bytes), so this op and everything
-                    # behind it in the window must not be applied or acked.
-                    self._m_wal_errors.inc()
-                    raise DegradedError(f"WAL append failed: {exc}") from exc
-                self._m_fsync.observe(time.perf_counter() - wal_began)
-            else:
-                offset = 0
+            primary: Optional[TraceContext] = next(
+                (
+                    s.trace
+                    for s in submissions
+                    if s.trace is not None and s.trace.sampled
+                ),
+                None,
+            )
+            token = activate(primary) if primary is not None else None
             try:
-                apply_began = time.perf_counter()
-                report = self._client.apply([op])
-                self._m_apply.observe(time.perf_counter() - apply_began)
-            except (ReproError, TypeError, ValueError) as exc:
-                # Deterministic engine rejection (invalid weight, a label
-                # the engine cannot digest...).  The record is already
-                # durable, but replaying it fails identically, so recovery
-                # skips it and the state machines stay in lockstep; the
-                # submitters get the error, later operations in the window
-                # still commit.
-                self._seq = seq
-                results.append({"wal_seq": seq, "version": seq, "error": str(exc)})
-                continue
+                if self._wal is not None:
+                    wal_began = time.perf_counter()
+                    try:
+                        seq, offset = self._wal.append_op(op)
+                    except OSError as exc:
+                        # Disk full / EIO: nothing durable was added (the WAL
+                        # discards partial bytes), so this op and everything
+                        # behind it in the window must not be applied or acked.
+                        self._m_wal_errors.inc()
+                        raise DegradedError(f"WAL append failed: {exc}") from exc
+                    wal_elapsed = time.perf_counter() - wal_began
+                    self._m_fsync.observe(wal_elapsed)
+                    self._m_stage.labels(stage="wal_append").observe(wal_elapsed)
+                else:
+                    offset = 0
+                for submission in submissions:
+                    if submission.trace is not None:
+                        submission.trace.annotate(
+                            wal_seq=seq, coalesced=len(submissions)
+                        )
+                        if primary is not None and submission.trace is not primary:
+                            submission.trace.annotate(spans_on=primary.trace_id)
+                apply_span = (
+                    primary.start_span("engine_apply", kind=op.__class__.__name__)
+                    if primary is not None
+                    else None
+                )
+                try:
+                    apply_began = time.perf_counter()
+                    report = self._client.apply([op])
+                    apply_elapsed = time.perf_counter() - apply_began
+                    self._m_apply.observe(apply_elapsed)
+                    self._m_stage.labels(stage="engine_apply").observe(apply_elapsed)
+                except (ReproError, TypeError, ValueError) as exc:
+                    # Deterministic engine rejection (invalid weight, a label
+                    # the engine cannot digest...).  The record is already
+                    # durable, but replaying it fails identically, so recovery
+                    # skips it and the state machines stay in lockstep; the
+                    # submitters get the error, later operations in the window
+                    # still commit.
+                    self._seq = seq
+                    results.append(
+                        {"wal_seq": seq, "version": seq, "error": str(exc)}
+                    )
+                    continue
+                finally:
+                    if primary is not None:
+                        primary.end_span(apply_span)
+            finally:
+                if token is not None:
+                    deactivate(token)
             self._seq = seq
             self._m_batches.inc()
             edges = report.edges_applied

@@ -156,6 +156,11 @@ class Histogram:
 
         Good enough for health summaries; the bench computes exact
         percentiles from raw samples instead.
+
+        An **empty** histogram answers ``0.0`` for every quantile — a
+        deliberate, pinned choice (not NaN, not an exception): scrapers
+        and health summaries read quantiles before the first request
+        lands, and a zero reads naturally as "no latency observed yet".
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -247,6 +252,14 @@ class MetricFamily:
         return lines
 
 
+def _describe(metric: object) -> str:
+    """``"a counter"`` / ``"a histogram family (labels shard)"`` — for errors."""
+    if isinstance(metric, MetricFamily):
+        kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[metric.kind]
+        return f"a {kind} family (labels {', '.join(metric.labelnames)})"
+    return f"a {type(metric).__name__.lower()}"
+
+
 class MetricsRegistry:
     """Name-ordered collection of metrics with one text renderer."""
 
@@ -254,8 +267,14 @@ class MetricsRegistry:
         self._metrics: Dict[str, object] = {}
 
     def _register(self, metric):
-        if metric.name in self._metrics:
-            raise ValueError(f"metric {metric.name} already registered")
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            raise ValueError(
+                f"metric {metric.name!r} is already registered as "
+                f"{_describe(existing)}; cannot re-register it as "
+                f"{_describe(metric)}. Reuse the existing instance via "
+                f"registry.get({metric.name!r}) instead."
+            )
         self._metrics[metric.name] = metric
         return metric
 

@@ -87,6 +87,14 @@ def _wait_for_server(wal_dir: Path, proc: subprocess.Popen, timeout: float = 30.
 def _request(
     port: int, method: str, path: str, payload: Optional[object] = None
 ) -> Tuple[int, Dict]:
+    status, body, _headers = _request_full(port, method, path, payload)
+    return status, body
+
+
+def _request_full(
+    port: int, method: str, path: str, payload: Optional[object] = None
+) -> Tuple[int, Dict, Dict[str, str]]:
+    """Like :func:`_request` but also returns the (lowercased) headers."""
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     try:
         body = None if payload is None else json.dumps(payload)
@@ -94,7 +102,14 @@ def _request(
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         data = response.read()
-        return response.status, json.loads(data) if data else {}
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return (
+            response.status,
+            json.loads(data) if data else {},
+            response_headers,
+        )
     finally:
         connection.close()
 
@@ -136,6 +151,84 @@ def _post_edges(
             )
         time.sleep(backoff)
     raise AssertionError(f"ingest still degraded after {retries} retries")
+
+
+def _assert_trace_well_formed(entry: Dict) -> None:
+    """Span ids are unique and every parent reference resolves in-trace."""
+    spans = entry.get("spans", [])
+    span_ids = {span["id"] for span in spans}
+    assert len(span_ids) == len(spans), f"duplicate span ids: {spans}"
+    for span in spans:
+        if span["parent"] is not None:
+            assert span["parent"] in span_ids, (
+                f"span {span['name']} has dangling parent {span['parent']}"
+            )
+
+
+def _trace_probe(
+    port: int,
+    chunk: List[List[object]],
+    say,
+    observed: Dict[str, object],
+    expect_worker_spans: bool,
+    retries: int = 80,
+    backoff: float = 0.15,
+) -> str:
+    """One fully traced bulk ingest + flush: header → ring → span tree.
+
+    Returns the bulk request's trace id.  The flush barrier scatters to
+    every shard, so with live workers its trace must carry
+    ``worker_roundtrip`` spans even if the bulk chunk's updates were all
+    parked by the coordinator.
+    """
+    for _attempt in range(retries):
+        status, body, headers = _request_full(
+            port, "POST", "/v1/edges", {"edges": chunk}
+        )
+        if status == 200:
+            break
+        assert status == 503, f"trace probe ingest failed with {status}: {body}"
+        time.sleep(backoff)
+    else:
+        raise AssertionError(f"trace probe still degraded after {retries} retries")
+    trace_id = headers.get("x-repro-trace-id")
+    assert trace_id, f"no X-Repro-Trace-Id on the ingest response: {headers}"
+
+    status, payload = _request(port, "GET", f"/debug/traces?trace_id={trace_id}")
+    assert status == 200 and payload["count"] == 1, (
+        f"trace {trace_id} not held by /debug/traces: {payload}"
+    )
+    entry = payload["traces"][0]
+    names = {span["name"] for span in entry["spans"]}
+    assert {"queue_wait", "wal_append", "engine_apply"} <= names, (
+        f"bulk trace is missing pipeline spans: {sorted(names)}"
+    )
+    _assert_trace_well_formed(entry)
+
+    status, _body, flush_headers = _request_full(port, "POST", "/v1/flush")
+    assert status == 200, f"trace probe flush failed: {status}"
+    flush_id = flush_headers.get("x-repro-trace-id")
+    assert flush_id, "no X-Repro-Trace-Id on the flush response"
+    status, payload = _request(port, "GET", f"/debug/traces?trace_id={flush_id}")
+    assert status == 200 and payload["count"] == 1
+    flush_entry = payload["traces"][0]
+    _assert_trace_well_formed(flush_entry)
+    flush_names = {span["name"] for span in flush_entry["spans"]}
+    if expect_worker_spans:
+        assert "worker_roundtrip" in flush_names, (
+            f"flush barrier trace has no worker spans: {sorted(flush_names)}"
+        )
+    observed["trace"] = {
+        "trace_id": trace_id,
+        "bulk_spans": sorted(names),
+        "flush_trace_id": flush_id,
+        "flush_spans": sorted(flush_names),
+    }
+    say(
+        f"trace {trace_id} observable end-to-end "
+        f"(spans: {', '.join(sorted(names))})"
+    )
+    return trace_id
 
 
 def _spawn(config_path: Path) -> subprocess.Popen:
@@ -188,6 +281,8 @@ def run_smoke(
     report: Optional[str] = None,
     history_interval: Optional[int] = None,
     history_copy: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    trace_log_copy: Optional[str] = None,
 ) -> int:
     """Run the kill-and-restart divergence check; return a process exit code.
 
@@ -211,6 +306,17 @@ def run_smoke(
     nothing, and ``detect?asof=<phase-1 version>`` on the restarted
     server reproduces the pre-kill detection bit for bit.
     ``history_copy`` copies the final ``.sqlite`` out of the tempdir
+    (the CI artifact).
+
+    ``trace_sample`` enables end-to-end tracing (:mod:`repro.obs`) in both
+    phases with the JSONL event log at ``<wal-dir>/events.jsonl``.  At a
+    rate >= 1.0 the smoke additionally pins the observability contract:
+    a bulk ingest's ``X-Repro-Trace-Id`` is retrievable from
+    ``/debug/traces`` with queue-wait/WAL-append/engine-apply (and, with
+    live workers, worker-roundtrip) child spans, span parenting stays
+    well-formed across the worker ``kill -9`` → respawn sub-phase, and
+    the event log — which survives the server kill — holds the probe's
+    trace id.  ``trace_log_copy`` copies the event log out of the tempdir
     (the CI artifact).
     """
 
@@ -253,6 +359,13 @@ def run_smoke(
             config["serve"]["history"] = {
                 "epoch_interval": history_interval,
                 "poll_ms": 50.0,
+            }
+        if trace_sample is not None:
+            # Both phases trace; the event log accumulates across the kill.
+            config["serve"]["obs"] = {
+                "trace_sample": trace_sample,
+                "slow_ms": 0.0,
+                "trace_log": "auto",
             }
         # The fault plan is phase 1 only: the restart boots clean and has
         # to cope with whatever the faults left on disk.
@@ -298,6 +411,18 @@ def run_smoke(
                     f"shard workers fell back to the in-process engine "
                     f"({worker_info.get('fallback_reason')})"
                 )
+            probe_trace_id: Optional[str] = None
+            if trace_sample is not None and trace_sample >= 1.0:
+                workers_live = (
+                    workers > 1 and not worker_info.get("fallback")
+                )
+                probe_trace_id = _trace_probe(
+                    port,
+                    rows[:20],
+                    say,
+                    observed,
+                    expect_worker_spans=workers_live,
+                )
             if workers > 1 and faults is None:
                 # Worker-crash phase: SIGKILL one shard worker, keep
                 # ingesting, and require a respawn before killing the
@@ -323,6 +448,35 @@ def run_smoke(
                 restarts = health["workers"]["restarts"]
                 assert sum(restarts) >= 1, f"worker was not respawned: {health['workers']}"
                 say(f"worker respawned from the mirror (restarts={restarts})")
+                if trace_sample is not None and trace_sample >= 1.0:
+                    # The respawn happened inside some traced request; its
+                    # trace must hold a worker_respawn span with parenting
+                    # still well-formed — the id "survives" the respawn.
+                    status, payload = _request(
+                        port, "GET", "/debug/traces?limit=400"
+                    )
+                    assert status == 200
+                    respawn_entry = next(
+                        (
+                            entry
+                            for entry in payload["traces"]
+                            if any(
+                                span["name"] == "worker_respawn"
+                                for span in entry["spans"]
+                            )
+                        ),
+                        None,
+                    )
+                    assert respawn_entry is not None, (
+                        "no trace holds a worker_respawn span after the kill"
+                    )
+                    _assert_trace_well_formed(respawn_entry)
+                    trace_doc = observed.setdefault("trace", {})
+                    trace_doc["respawn_trace_id"] = respawn_entry["trace_id"]  # type: ignore[index]
+                    say(
+                        f"worker_respawn span recorded in trace "
+                        f"{respawn_entry['trace_id']}"
+                    )
             resume_at = index
             # Kill without ceremony, mid-stream.
             os.kill(proc.pid, signal.SIGKILL)
@@ -554,6 +708,40 @@ def run_smoke(
                 shutil.copy(db_path, history_copy)
                 say(f"cold store copied to {history_copy}")
 
+        trace_doc_out: Optional[Dict[str, object]] = None
+        if trace_sample is not None:
+            # The event log is append-only JSONL in the WAL directory: it
+            # survives the phase-1 kill -9 and accumulates across both
+            # processes.  The probe's trace id must be in it.
+            from repro.obs.events import read_events
+
+            events_path = wal_dir / "events.jsonl"
+            records: List[Dict[str, object]] = []
+            if events_path.exists():
+                records, _ = read_events(events_path)
+            else:
+                failures.append(f"event log missing: {events_path}")
+            if trace_sample >= 1.0:
+                probe_id = (observed.get("trace") or {}).get("trace_id")  # type: ignore[union-attr]
+                if probe_id and not any(
+                    record.get("trace_id") == probe_id for record in records
+                ):
+                    failures.append(
+                        f"probe trace {probe_id} is not in the event log "
+                        f"({len(records)} records)"
+                    )
+            trace_doc_out = {
+                "trace_sample": trace_sample,
+                "event_log_records": len(records),
+                "observed": observed.get("trace"),
+            }
+            say(f"event log holds {len(records)} records across both phases")
+            if trace_log_copy is not None and events_path.exists():
+                import shutil
+
+                shutil.copy(events_path, trace_log_copy)
+                say(f"event log copied to {trace_log_copy}")
+
         # A fault plan must actually exercise the path it was written for;
         # a mistuned plan that injects nothing observable is a CI bug.
         satisfied = {
@@ -583,6 +771,7 @@ def run_smoke(
                 "community_size": len(offline_community),
                 "density": offline_report.density,
                 "history": history_doc,
+                "tracing": trace_doc_out,
                 "failures": failures,
                 "ok": not failures,
             }
@@ -645,6 +834,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="copy the final cold-store .sqlite to this path (CI artifact)",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help="enable end-to-end tracing at this sample rate (both phases); "
+        ">= 1.0 additionally pins the header -> /debug/traces -> event-log "
+        "contract and span parenting across the worker respawn",
+    )
+    parser.add_argument(
+        "--trace-log-copy",
+        default=None,
+        help="copy the final events.jsonl to this path (CI artifact)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     return run_smoke(
@@ -657,6 +859,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report=args.report,
         history_interval=args.history_interval,
         history_copy=args.history_copy,
+        trace_sample=args.trace_sample,
+        trace_log_copy=args.trace_log_copy,
     )
 
 

@@ -39,6 +39,7 @@ silent corruption, exactly the SQLite WAL-frame discipline.
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -46,6 +47,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.api.events import Delete, Event, Flush, Insert, InsertBatch
 from repro.errors import StorageError
 from repro.graph.delta import EdgeUpdate
+from repro.obs.context import current_trace
 from repro.storage.jsonl import JsonlWriter
 
 __all__ = [
@@ -302,6 +304,7 @@ class WriteAheadLog:
             injector=injector,
         )
         self._next_seq = int(next_seq)
+        self._fsync = bool(fsync)
 
     @classmethod
     def path_in(cls, wal_dir: PathLike) -> Path:
@@ -337,7 +340,19 @@ class WriteAheadLog:
         record_with_seq: Dict[str, object] = {"seq": seq}
         record_with_seq.update(record)
         record_with_seq["crc"] = zlib.crc32(_canonical(record_with_seq))
+        before = self._writer.offset
+        began = time.perf_counter()
         offset = self._writer.append(record_with_seq)
+        trace = current_trace()
+        if trace is not None:
+            trace.add_span(
+                "wal_append",
+                began,
+                time.perf_counter(),
+                seq=seq,
+                bytes=offset - before,
+                fsync=self._fsync,
+            )
         self._next_seq = seq + 1
         return seq, offset
 

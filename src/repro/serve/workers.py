@@ -64,6 +64,7 @@ from repro.errors import ReproError, WorkerFallbackError
 from repro.graph.csr import freeze_graph
 from repro.graph.delta import EdgeUpdate
 from repro.graph.graph import DynamicGraph, Vertex
+from repro.obs.context import current_trace
 from repro.peeling.semantics import PeelingSemantics
 from repro.serve.metrics import MetricsRegistry, SIZE_BUCKETS
 
@@ -304,8 +305,23 @@ class WorkerEngine(ShardedSpade):
         self._fallback_reason: Optional[str] = None
         #: Respawn count per shard (also exported as a labeled counter).
         self.worker_restarts = [0] * num_shards
+        #: Latest cumulative repro.obs.profile snapshot per shard (each
+        #: worker response carries one; a respawned worker restarts its
+        #: counters, so these undercount across respawns).
+        self._worker_profiles: Dict[int, Dict[str, Dict[str, float]]] = {}
 
         self._m_queue = self._m_apply = self._m_restarts = self._m_fallback = None
+        self._m_stage = None
+        if metrics is not None:
+            # Shared with IngestGateway (whichever constructs first registers).
+            try:
+                self._m_stage = metrics.get("repro_stage_seconds")
+            except KeyError:
+                self._m_stage = metrics.histogram(
+                    "repro_stage_seconds",
+                    "Per-request pipeline stage latency (tracing-independent)",
+                    labelnames=("stage",),
+                )
         if metrics is not None:
             self._m_queue = metrics.gauge(
                 "repro_worker_queue_depth",
@@ -341,6 +357,13 @@ class WorkerEngine(ShardedSpade):
     def worker_pids(self) -> List[Optional[int]]:
         """Live worker process ids, in shard order (operational surface)."""
         return [worker.pid for worker in self._workers]
+
+    def worker_profiles(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Latest per-shard profile tables, keyed ``"shard-N"`` (/debug/profile)."""
+        return {
+            f"shard-{home}": dict(table)
+            for home, table in sorted(self._worker_profiles.items())
+        }
 
     @property
     def fallback(self) -> bool:
@@ -613,12 +636,24 @@ class WorkerEngine(ShardedSpade):
         pipe, workers are always draining), so all addressed workers run
         their maintenance passes concurrently; the gather half observes
         per-shard apply latency and refreshes the cached local views.
+
+        When a trace is ambient (the ingest commit thread activated the
+        request's :class:`~repro.obs.context.TraceContext`), each request
+        carries the trace id over the pipe and each gather records a
+        ``worker_roundtrip`` span with a ``worker_apply`` child anchored
+        by the worker-reported apply *duration* — worker clocks are not
+        comparable to the coordinator's, so the child is pinned to the
+        end of the round trip.
         """
+        trace = current_trace()
         posted: List[Tuple[int, float]] = []
         for home, message in messages.items():
+            wire: tuple = message
+            if trace is not None:
+                wire = (message[0], message[1], {"trace": trace.trace_id})
             began = time.perf_counter()
             try:
-                self._workers[home].post(message)
+                self._workers[home].post(wire)
             except WorkerCrash:
                 self._respawn(home)
                 if self._fallback:
@@ -639,8 +674,29 @@ class WorkerEngine(ShardedSpade):
                 continue
             if state is None:  # pragma: no cover - protocol invariant
                 continue
+            now = time.perf_counter()
             if self._m_apply is not None:
-                self._m_apply.labels(shard=home).observe(time.perf_counter() - began)
+                self._m_apply.labels(shard=home).observe(now - began)
+            if self._m_stage is not None:
+                self._m_stage.labels(stage="worker_roundtrip").observe(now - began)
+            if trace is not None:
+                roundtrip = trace.add_span(
+                    "worker_roundtrip",
+                    began,
+                    now,
+                    shard=home,
+                    kind=messages[home][0],
+                )
+                if state.elapsed > 0:
+                    trace.add_span(
+                        "worker_apply",
+                        now - state.elapsed,
+                        now,
+                        parent=roundtrip,
+                        shard=home,
+                    )
+            if state.profile:
+                self._worker_profiles[home] = state.profile
             self._local[home] = state.community
             self._benign_pending[home] = state.pending
             if stats is not None:
@@ -654,10 +710,13 @@ class WorkerEngine(ShardedSpade):
         including any still-parked updates homed there, which are
         therefore dropped from the queue instead of double-applied.
         """
+        trace = current_trace()
+        respawn_began = time.perf_counter()
         self.worker_restarts[home] += 1
         if self._m_restarts is not None:
             self._m_restarts.labels(shard=home).inc()
         self._workers[home].destroy()
+        self._worker_profiles.pop(home, None)
         if self._pending:
             kept = [u for u in self._pending if self.router.shard_of(u.src) != home]
             if len(kept) != len(self._pending):
@@ -670,6 +729,16 @@ class WorkerEngine(ShardedSpade):
             self._workers[home] = self._boot_worker(home)
         except WorkerFallbackError as exc:
             self._enter_fallback(str(exc))
+        finally:
+            if trace is not None:
+                trace.add_span(
+                    "worker_respawn",
+                    respawn_began,
+                    time.perf_counter(),
+                    shard=home,
+                    restarts=self.worker_restarts[home],
+                    fallback=self._fallback,
+                )
 
     # ------------------------------------------------------------------ #
     # Shutdown
